@@ -1,0 +1,113 @@
+"""Extension benchmarks: the paper's future-work features, implemented.
+
+* tile compression beyond SNB (§VIII: "Compression can be applied to the
+  data present in tiles … which we leave as future work");
+* asynchronous BFS (§II-B, citing Pearce et al. [26]);
+* tiered SSD+HDD storage (§IX: "extend G-Store … on a tiered storage").
+"""
+
+from conftest import record
+
+from repro.bench.experiments import (
+    ext_async_bfs,
+    ext_tile_compression,
+    ext_tiered_storage,
+)
+
+
+def test_ext_tile_compression(benchmark):
+    tbl, data = benchmark.pedantic(ext_tile_compression, rounds=1, iterations=1)
+    record("ext_tile_compression", tbl)
+    for name, rep in data.items():
+        benchmark.extra_info[f"{name}_saving"] = round(rep["extra_saving"], 2)
+        # Delta+varint must shrink SNB tiles further on realistic graphs.
+        assert rep["extra_saving"] > 1.3
+
+
+def test_ext_async_bfs(benchmark):
+    import numpy as np
+
+    tbl, data = benchmark.pedantic(ext_async_bfs, rounds=1, iterations=1)
+    record("ext_async_bfs", tbl)
+    benchmark.extra_info["sync_iters"] = data["sync"].n_iterations
+    benchmark.extra_info["async_iters"] = data["async"].n_iterations
+    # Fewer (or equal) sweeps, strictly fewer bytes demanded from disk.
+    assert data["async"].n_iterations <= data["sync"].n_iterations
+    assert data["async"].bytes_read <= data["sync"].bytes_read
+
+
+def test_ext_tiered_storage(benchmark):
+    tbl, data = benchmark.pedantic(ext_tiered_storage, rounds=1, iterations=1)
+    record("ext_tiered_storage", tbl)
+    benchmark.extra_info["tiered_vs_hdd"] = round(data["hdd"] / data["tiered"], 2)
+    # Sweep cost ordering: SSD < tiered < HDD.
+    assert data["ssd"] < data["tiered"] < data["hdd"]
+    # And the hot plan concentrates bytes into few groups.
+    assert data["plan"]["edge_coverage"] >= data["plan"]["group_fraction"]
+
+
+def test_ext_kcore(benchmark):
+    from repro.bench.experiments import ext_kcore
+
+    tbl, data = benchmark.pedantic(ext_kcore, rounds=1, iterations=1)
+    record("ext_kcore", tbl)
+    sizes = [data[k]["size"] for k in sorted(data)]
+    for k in sorted(data):
+        benchmark.extra_info[f"core_{k}"] = data[k]["size"]
+    # Cores nest: larger k, smaller core; all non-trivial on a social graph.
+    assert all(a >= b for a, b in zip(sizes, sizes[1:]))
+    assert sizes[0] > 0
+
+
+def test_ext_scc(benchmark):
+    from repro.bench.experiments import ext_scc
+
+    tbl, data = benchmark.pedantic(ext_scc, rounds=1, iterations=1)
+    record("ext_scc", tbl)
+    res = data["result"]
+    benchmark.extra_info["components"] = res.n_components
+    benchmark.extra_info["pivot_rounds"] = res.pivot_rounds
+    # Every vertex labelled; trimming does the heavy lifting on a graph
+    # with few cycles.
+    assert int(res.component_sizes().sum()) == res.labels.shape[0]
+    assert res.trimmed > 0
+
+
+def test_ext_multi_bfs(benchmark):
+    from repro.bench.experiments import ext_multi_bfs
+
+    tbl, data = benchmark.pedantic(ext_multi_bfs, rounds=1, iterations=1)
+    record("ext_multi_bfs", tbl)
+    benchmark.extra_info["demand_saving"] = round(
+        data["single_demand"] / max(data["multi_demand"], 1), 2
+    )
+    # The shared sweep demands far less data than k separate traversals.
+    assert data["multi_demand"] < 0.5 * data["single_demand"]
+
+
+def test_ext_direction_optimizing_bfs(benchmark):
+    from repro.bench.experiments import ext_direction_optimizing_bfs
+
+    tbl, data = benchmark.pedantic(
+        ext_direction_optimizing_bfs, rounds=1, iterations=1
+    )
+    record("ext_direction_opt_bfs", tbl)
+
+    def demand(st):
+        return st.bytes_read + st.bytes_from_cache
+
+    def tiles(st):
+        return st.tiles_fetched + st.tiles_from_cache
+
+    benchmark.extra_info["lattice_tile_saving"] = round(
+        tiles(data["lattice_plain"]) / max(tiles(data["lattice_opt"]), 1), 2
+    )
+    # High-diameter workload: the AND-predicate prunes a large fraction
+    # of tile visits (the pruned boundary tiles are small, so the *byte*
+    # saving is modest — recorded honestly in EXPERIMENTS.md).
+    assert tiles(data["lattice_opt"]) < 0.8 * tiles(data["lattice_plain"])
+    assert demand(data["lattice_opt"]) <= demand(data["lattice_plain"])
+    # Power-law workload: never worse (and honestly, barely better —
+    # every 2**tile_bits range keeps an unvisited vertex almost to the
+    # end, so range-granular direction optimisation cannot engage).
+    assert demand(data["opt"]) <= demand(data["plain"])

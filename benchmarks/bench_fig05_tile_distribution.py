@@ -1,0 +1,20 @@
+"""Figure 5: per-tile edge counts of the Twitter stand-in."""
+
+from conftest import record
+
+from repro.bench.experiments import fig5_tile_distribution
+
+
+def test_fig5_tile_skew(benchmark):
+    tbl, data = benchmark.pedantic(
+        fig5_tile_distribution, rounds=1, iterations=1
+    )
+    record("fig05_tile_distribution", tbl)
+    benchmark.extra_info["frac_empty"] = round(data["frac_empty"], 3)
+    benchmark.extra_info["frac_under_1000"] = round(data["frac_small"], 3)
+    # Paper: 40% empty, 82% under 1000 edges for Twitter.
+    assert 0.2 < data["frac_empty"] < 0.8
+    assert data["frac_small"] > 0.8
+    # The sorted-count curve must span orders of magnitude.
+    counts = data["counts_sorted"]
+    assert counts[0] > 1000 * max(1, counts[len(counts) // 2])

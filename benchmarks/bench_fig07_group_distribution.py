@@ -1,0 +1,19 @@
+"""Figure 7: per-physical-group edge counts of the Twitter stand-in."""
+
+from conftest import record
+
+from repro.bench.experiments import fig7_group_distribution
+
+
+def test_fig7_group_spread(benchmark):
+    tbl, data = benchmark.pedantic(
+        fig7_group_distribution, rounds=1, iterations=1
+    )
+    record("fig07_group_distribution", tbl)
+    counts = data["counts_sorted"]
+    benchmark.extra_info["groups"] = int(counts.shape[0])
+    benchmark.extra_info["largest"] = int(counts[0])
+    benchmark.extra_info["smallest"] = int(counts[-1])
+    # Paper: 364,227 edges in the smallest group, >1B in the largest —
+    # a spread of several orders of magnitude.
+    assert counts[0] > 50 * max(1, counts[-1])

@@ -1,0 +1,40 @@
+"""Figure 9 + §VII-B: G-Store vs FlashGraph and X-Stream."""
+
+from conftest import record
+
+from repro.bench.experiments import fig9_vs_flashgraph, vs_xstream
+
+
+def test_fig9_vs_flashgraph(benchmark):
+    """Per-graph/per-algorithm speedups over the FlashGraph baseline."""
+    tbl, data = benchmark.pedantic(fig9_vs_flashgraph, rounds=1, iterations=1)
+    record("fig09_vs_flashgraph", tbl)
+    for key, speeds in data.items():
+        for algo, s in speeds.items():
+            benchmark.extra_info[f"{key}_{algo}"] = round(s, 2)
+    # Paper: ~2x PageRank, ~1.5-2x CC, ~1.4x BFS on undirected graphs;
+    # directed BFS/PR slightly lose (no symmetry saving there).
+    und = [k for k in data if k.endswith("-u")]
+    assert und, "undirected variants must be present"
+    for key in und:
+        assert data[key]["pagerank"] > 1.3
+        assert data[key]["cc"] > 1.2
+        assert data[key]["bfs"] > 0.9
+
+
+def test_vs_xstream(benchmark):
+    """§VII-B text: G-Store beats X-Stream by an order of magnitude."""
+    tbl, data = benchmark.pedantic(vs_xstream, rounds=1, iterations=1)
+    record("vs_xstream", tbl)
+    for key, speeds in data.items():
+        for algo, s in speeds.items():
+            benchmark.extra_info[f"{key}_{algo}"] = round(s, 2)
+    kron = data["kron-small-16"]
+    # Paper: 17x BFS / 21x PR / 32x CC on Kron-28-16.  The ratio grows
+    # with graph-to-memory ratio; at this tier we assert solid wins with
+    # PageRank the largest (it pays X-Stream's update streams every
+    # iteration).
+    assert kron["bfs"] > 3
+    assert kron["pagerank"] > 8
+    assert kron["cc"] > 3
+    assert data["twitter-small"]["pagerank"] > 2

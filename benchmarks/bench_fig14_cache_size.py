@@ -1,0 +1,18 @@
+"""Figure 14: effect of the streaming/caching memory size."""
+
+from conftest import record
+
+from repro.bench.experiments import fig14_cache_size
+
+
+def test_fig14_cache_size(benchmark):
+    tbl, data = benchmark.pedantic(fig14_cache_size, rounds=1, iterations=1)
+    record("fig14_cache_size", tbl)
+    for (name, algo), times in data.items():
+        speed = times[0] / times[-1]
+        benchmark.extra_info[f"{name}_{algo}"] = round(speed, 2)
+        # More cache never hurts and eventually helps (paper: 30-46%
+        # improvement from 1GB to 8GB).
+        assert times[-1] <= times[0] * 1.05
+    kron_pr = data[("kron-small-16", "pagerank")]
+    assert kron_pr[0] / kron_pr[-1] > 1.2

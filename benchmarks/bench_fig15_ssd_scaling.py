@@ -1,0 +1,23 @@
+"""Figure 15: scalability over the RAID-0 SSD array."""
+
+from conftest import record
+
+from repro.bench.experiments import fig15_ssd_scaling
+
+
+def test_fig15_ssd_scaling(benchmark):
+    tbl, data = benchmark.pedantic(fig15_ssd_scaling, rounds=1, iterations=1)
+    record("fig15_ssd_scaling", tbl)
+    for algo, times in data.items():
+        speed8 = times[0] / times[-1]
+        benchmark.extra_info[f"{algo}_8ssd"] = round(speed8, 2)
+    bfs = data["bfs"]
+    pr = data["pagerank"]
+    # Paper: close-to-ideal scaling to 4 SSDs, ~6x at 8; PageRank
+    # saturates the CPU before the array does.
+    assert bfs[0] / bfs[1] > 1.4  # 2 SSDs help a lot
+    assert bfs[0] / bfs[2] > 2.0  # 4 SSDs
+    # PageRank's 8-SSD gain over 4 SSDs is limited by compute.
+    pr_gain_8_over_4 = pr[2] / pr[3]
+    bfs_gain_8_over_4 = bfs[2] / bfs[3]
+    assert pr_gain_8_over_4 <= bfs_gain_8_over_4 + 0.05

@@ -1,0 +1,69 @@
+"""Micro-benchmarks of the hot kernels (pytest-benchmark timing targets).
+
+These are the pieces profiling identifies as the inner loops: SNB
+pack/unpack, the per-tile BFS and PageRank kernels, and the two-pass tile
+conversion.  They give wall-clock throughput numbers for this Python
+implementation (the simulated timeline is calibrated separately).
+"""
+
+import numpy as np
+
+from repro.algorithms.bfs import BFS
+from repro.algorithms.pagerank import PageRank
+from repro.bench.harness import graphs
+from repro.format.snb import pack_tuples, unpack_tuples
+from repro.format.tiles import TiledGraph
+
+
+def _biggest_tile(tg: TiledGraph):
+    counts = tg.tile_edge_counts()
+    return tg.tile_view(int(counts.argmax()))
+
+
+def test_kernel_snb_pack(benchmark):
+    rng = np.random.default_rng(1)
+    lsrc = rng.integers(0, 1 << 16, 1_000_000).astype(np.uint16)
+    ldst = rng.integers(0, 1 << 16, 1_000_000).astype(np.uint16)
+    buf = benchmark(pack_tuples, lsrc, ldst, 16)
+    assert len(buf) == 4_000_000
+
+
+def test_kernel_snb_unpack(benchmark):
+    rng = np.random.default_rng(1)
+    lsrc = rng.integers(0, 1 << 16, 1_000_000).astype(np.uint16)
+    ldst = rng.integers(0, 1 << 16, 1_000_000).astype(np.uint16)
+    buf = pack_tuples(lsrc, ldst, 16)
+    s, d = benchmark(unpack_tuples, buf, 16)
+    assert s.shape[0] == 1_000_000
+
+
+def test_kernel_bfs_tile(benchmark):
+    tg = graphs().tiled("kron-small-16")
+    tv = _biggest_tile(tg)
+    algo = BFS(root=0)
+    algo.setup(tg)
+
+    def run():
+        algo.depth[:] = np.iinfo(np.uint32).max
+        algo.depth[0] = 0
+        algo.level = 0
+        return algo.process_tile(tv)
+
+    edges = benchmark(run)
+    benchmark.extra_info["edges_per_call"] = edges
+
+
+def test_kernel_pagerank_tile(benchmark):
+    tg = graphs().tiled("kron-small-16")
+    tv = _biggest_tile(tg)
+    algo = PageRank()
+    algo.setup(tg)
+    algo.begin_iteration(0)
+    edges = benchmark(algo.process_tile, tv)
+    benchmark.extra_info["edges_per_call"] = edges
+
+
+def test_kernel_tile_build(benchmark):
+    el = graphs().edge_list("kron-small-16")
+    tg = benchmark(TiledGraph.from_edge_list, el, 11, 8)
+    assert tg.n_edges > 0

@@ -1,0 +1,28 @@
+"""Table I: conversion time to CSR vs the G-Store tile format."""
+
+from conftest import record
+
+from repro.bench.experiments import table1_conversion
+from repro.bench.harness import graphs
+from repro.format.convert import convert_to_csr, convert_to_tiles
+from repro.graphgen.datasets import get_spec
+
+
+def test_table1_conversion_report(benchmark):
+    """Regenerate Table I and benchmark the tile conversion itself."""
+    tbl, data = table1_conversion()
+    record("table1_conversion", tbl)
+    el = graphs().edge_list("kron-small-16")
+    tb, q = get_spec("kron-small-16").geometry()
+    benchmark(lambda: convert_to_tiles(el, tile_bits=tb, group_q=q))
+    for name, (csr_s, gs_s) in data.items():
+        benchmark.extra_info[f"{name}_csr_s"] = round(csr_s, 4)
+        benchmark.extra_info[f"{name}_gstore_s"] = round(gs_s, 4)
+    assert all(t > 0 for pair in data.values() for t in pair)
+
+
+def test_table1_csr_conversion_kernel(benchmark):
+    """Micro-benchmark of the CSR conversion (the Table I comparator)."""
+    el = graphs().edge_list("kron-small-16")
+    csr, _ = benchmark(lambda: convert_to_csr(el))
+    assert csr.n_edges == 2 * el.canonicalized().n_edges

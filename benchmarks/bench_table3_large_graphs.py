@@ -1,0 +1,23 @@
+"""Table III: BFS / PageRank / WCC on the largest local graphs.
+
+The paper runs trillion-edge graphs in tens of minutes on 8 SSDs; the
+shape reproduced here is the per-algorithm runtime ordering (WCC fastest,
+PageRank slowest) and the BFS MTEPS throughput metric.
+"""
+
+from conftest import record
+
+from repro.bench.experiments import table3_large_graphs
+
+
+def test_table3_trillion_edge_standins(benchmark):
+    tbl, data = benchmark.pedantic(
+        table3_large_graphs, rounds=1, iterations=1
+    )
+    record("table3_large_graphs", tbl)
+    for name, row in data.items():
+        benchmark.extra_info[f"{name}_bfs_s"] = round(row["bfs"].sim_elapsed, 4)
+        benchmark.extra_info[f"{name}_mteps"] = round(row["bfs"].mteps(), 1)
+        # Paper Table III ordering: WCC < BFS < PageRank runtime.
+        assert row["cc"].sim_elapsed < row["pagerank"].sim_elapsed
+        assert row["bfs"].mteps() > 0

@@ -1,0 +1,33 @@
+"""Benchmark-suite configuration.
+
+Benchmarks run at the ``small`` tier by default (override with
+``REPRO_SCALE``).  Every benchmark writes its paper-style table into
+``benchmarks/results/`` and prints it, so ``pytest benchmarks/
+--benchmark-only`` leaves a full experiment record behind.
+"""
+
+from __future__ import annotations
+
+import os
+
+os.environ.setdefault("REPRO_SCALE", "small")
+
+import pytest  # noqa: E402
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def record(name: str, table) -> None:
+    """Persist and print an experiment table."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    text = table.render()
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w", encoding="utf-8") as fh:
+        fh.write(text + "\n")
+    print("\n" + text)
+
+
+@pytest.fixture(scope="session")
+def gcache():
+    from repro.bench.harness import graphs
+
+    return graphs()

@@ -1,0 +1,40 @@
+"""Tile-kernel graph algorithms (paper §II-B, Algorithms 1 and 2).
+
+Each algorithm processes one tile at a time through vectorised NumPy
+kernels, keeps its per-vertex metadata in flat arrays, and exposes the
+row-activity predicates that drive G-Store's selective I/O and proactive
+caching.  BFS / PageRank / Connected Components are the paper's three;
+SSSP and SpMV are extensions exercising the same machinery.
+"""
+
+from repro.algorithms.async_bfs import AsyncBFS
+from repro.algorithms.base import TileAlgorithm
+from repro.algorithms.bfs import BFS
+from repro.algorithms.cc import ConnectedComponents
+from repro.algorithms.kcore import KCore
+from repro.algorithms.mis import MaximalIndependentSet
+from repro.algorithms.multibfs import MultiSourceBFS
+from repro.algorithms.pagerank import PageRank
+from repro.algorithms.reachability import Reachability
+from repro.algorithms.scc import SCCDriver, SCCResult
+from repro.algorithms.spmv import SpMV
+from repro.algorithms.sssp import SSSP
+from repro.algorithms.triangles import clustering_coefficient, triangle_count
+
+__all__ = [
+    "TileAlgorithm",
+    "BFS",
+    "AsyncBFS",
+    "PageRank",
+    "ConnectedComponents",
+    "KCore",
+    "MultiSourceBFS",
+    "MaximalIndependentSet",
+    "Reachability",
+    "SCCDriver",
+    "SCCResult",
+    "SSSP",
+    "SpMV",
+    "triangle_count",
+    "clustering_coefficient",
+]

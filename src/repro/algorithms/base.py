@@ -1,0 +1,147 @@
+"""Algorithm interface for tile-based processing.
+
+The engine drives an algorithm through a strict per-iteration protocol::
+
+    algo.setup(graph)
+    while True:
+        algo.begin_iteration(k)
+        ... engine selects tiles via algo.rows_active(), fetches them,
+            calls algo.process_tile(view) for each ...
+        if not algo.end_iteration(k):
+            break
+
+``rows_active()`` reports which tile-row vertex ranges the *current*
+iteration must touch (selective fetching, §V-B); ``rows_active_next()``
+reports the — possibly still partial — knowledge about the *next*
+iteration that proactive caching consumes (§VI-C).
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.errors import AlgorithmError
+from repro.format.tiles import TiledGraph, TileView
+from repro.memory.proactive import row_activity_from_vertices
+
+
+class TileAlgorithm(abc.ABC):
+    """Base class for algorithms executed over G-Store tiles."""
+
+    #: Cost-model key; subclasses override.
+    name: str = "default"
+
+    #: True when every iteration touches the whole graph (PageRank, WCC);
+    #: anchored computations (BFS) set False and rely on frontiers.
+    all_active: bool = True
+
+    def __init__(self) -> None:
+        self.graph: "TiledGraph | None" = None
+        self.iteration = -1
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def setup(self, graph: TiledGraph) -> None:
+        """Bind to a graph and allocate metadata arrays."""
+        self.graph = graph
+        self.iteration = -1
+        self._setup()
+
+    @abc.abstractmethod
+    def _setup(self) -> None:
+        """Subclass hook: allocate metadata (``self.graph`` is bound)."""
+
+    def begin_iteration(self, iteration: int) -> None:
+        self.iteration = iteration
+
+    @abc.abstractmethod
+    def process_tile(self, tv: TileView) -> int:
+        """Process one tile; returns the number of edges examined."""
+
+    @abc.abstractmethod
+    def end_iteration(self, iteration: int) -> bool:
+        """Finish the iteration; return True to run another."""
+
+    # ------------------------------------------------------------------ #
+    # Activity predicates (selective I/O + proactive caching)
+    # ------------------------------------------------------------------ #
+
+    def rows_active(self) -> np.ndarray:
+        """Per-tile-row activity for the current iteration (all by default)."""
+        return np.ones(self._n_rows(), dtype=bool)
+
+    def rows_active_next(self) -> np.ndarray:
+        """Currently known per-row activity for the *next* iteration.
+
+        All-active algorithms reuse everything (the paper: "for PageRank,
+        all of the graph data would be utilized for the next iteration").
+        """
+        return np.ones(self._n_rows(), dtype=bool)
+
+    def cols_active(self) -> "np.ndarray | None":
+        """Per-*column* activity for algorithms that traverse a directed
+        graph's stored tuples backwards (dst -> src).  None (the default)
+        means the row predicate alone decides tile selection."""
+        return None
+
+    def cols_active_next(self) -> "np.ndarray | None":
+        """Next-iteration column activity for proactive caching."""
+        return None
+
+    def tile_mask(
+        self, tile_rows: np.ndarray, tile_cols: np.ndarray
+    ) -> "np.ndarray | None":
+        """Optional exact per-tile selection predicate.
+
+        When an algorithm can say *more* than the row/column OR-predicate
+        — e.g. direction-optimised BFS needs a tile only when a frontier
+        range meets an unvisited range — it returns the boolean mask
+        directly and the engine intersects it with tile non-emptiness.
+        None (default) falls back to the row/column predicates.
+        """
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Helpers
+    # ------------------------------------------------------------------ #
+
+    def _n_rows(self) -> int:
+        return self._graph().p
+
+    def _graph(self) -> TiledGraph:
+        if self.graph is None:
+            raise AlgorithmError(f"{type(self).__name__} not set up with a graph")
+        return self.graph
+
+    def _rows_of_vertices(self, active_mask: np.ndarray) -> np.ndarray:
+        g = self._graph()
+        return row_activity_from_vertices(active_mask, g.p, g.tile_bits)
+
+    @property
+    def symmetric(self) -> bool:
+        """True when the bound graph stores only the upper triangle, so
+        kernels must process each tuple in both directions (Algorithm 1)."""
+        return self._graph().info.symmetric
+
+    @property
+    def direction_passes(self) -> int:
+        """How many direction passes each stored tuple costs in compute.
+
+        Symmetric storage halves the tuples but each tuple is examined in
+        both directions (Algorithm 1's extra lines), so the *work* per
+        stored tuple doubles — the cost model must see that to stay fair
+        against baselines that store both orientations.
+        """
+        return 2 if self.symmetric else 1
+
+    def metadata_bytes(self) -> int:
+        """Resident metadata footprint; subclasses refine."""
+        return 0
+
+    @abc.abstractmethod
+    def result(self):
+        """The algorithm's output (depths, ranks, component labels, ...)."""

@@ -1,0 +1,122 @@
+"""Breadth-first search over tiles (paper Algorithm 1).
+
+Level-synchronous BFS keeping a per-vertex depth array.  On symmetric
+(upper-triangle) storage every tuple is examined in *both* directions —
+the extra lines 8–10 of the paper's Algorithm 1.  The frontier drives both
+selective fetching (only tiles whose row or column range holds frontier
+vertices are read, important in the sparse last iterations) and proactive
+caching ("the cached data may never be utilized in later iterations" for
+already-visited regions — the activity predicate encodes exactly that).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.base import TileAlgorithm
+from repro.errors import AlgorithmError
+from repro.format.tiles import TileView
+from repro.types import INF_DEPTH
+
+
+class BFS(TileAlgorithm):
+    """Level-synchronous BFS from a root vertex.
+
+    ``direction_optimizing=True`` enables Beamer-style selection (§II-B:
+    "BFS can be optimized for the explosion level"): a tile can only
+    produce new vertices when a *frontier* range meets an *unvisited*
+    range, an AND-predicate that is strictly tighter than the default
+    frontier-row OR — during the explosion iteration most tiles fail the
+    unvisited side and are skipped entirely.
+    """
+
+    name = "bfs"
+    all_active = False
+
+    def __init__(self, root: int = 0, direction_optimizing: bool = False) -> None:
+        super().__init__()
+        self.root = int(root)
+        self.direction_optimizing = bool(direction_optimizing)
+        self.depth: "np.ndarray | None" = None
+        self.level = 0
+        self.traversed_edges = 0
+        self._frontier_count = 0
+
+    def _setup(self) -> None:
+        g = self._graph()
+        if not (0 <= self.root < g.n_vertices):
+            raise AlgorithmError(
+                f"root {self.root} out of range for |V|={g.n_vertices}"
+            )
+        self.depth = np.full(g.n_vertices, INF_DEPTH, dtype=np.uint32)
+        self.depth[self.root] = 0
+        self.level = 0
+        self.traversed_edges = 0
+        self._frontier_count = 1
+
+    # ------------------------------------------------------------------ #
+
+    def process_tile(self, tv: TileView) -> int:
+        depth = self.depth
+        level = np.uint32(self.level)
+        nxt = np.uint32(self.level + 1)
+        gsrc, gdst = tv.global_edges()
+        src_d = depth[gsrc]
+        dst_d = depth[gdst]
+        fwd = (src_d == level) & (dst_d == INF_DEPTH)
+        if fwd.any():
+            depth[gdst[fwd]] = nxt
+        if self.symmetric:
+            # Algorithm 1 lines 8-10: the stored upper triangle also carries
+            # the mirrored edge, so expand the frontier backwards too.
+            bwd = (dst_d == level) & (src_d == INF_DEPTH)
+            if bwd.any():
+                depth[gsrc[bwd]] = nxt
+        self.traversed_edges += tv.n_edges
+        return tv.n_edges
+
+    def end_iteration(self, iteration: int) -> bool:
+        new_frontier = int(np.count_nonzero(self.depth == np.uint32(self.level + 1)))
+        self.level += 1
+        self._frontier_count = new_frontier
+        return new_frontier > 0
+
+    # ------------------------------------------------------------------ #
+
+    def rows_active(self) -> np.ndarray:
+        """Rows whose vertex range holds current-frontier vertices."""
+        return self._rows_of_vertices(self.depth == np.uint32(self.level))
+
+    def rows_active_next(self) -> np.ndarray:
+        """Partial knowledge of next-level frontiers discovered so far."""
+        return self._rows_of_vertices(self.depth == np.uint32(self.level + 1))
+
+    def tile_mask(self, tile_rows, tile_cols):
+        if not self.direction_optimizing:
+            return None
+        frontier_rows = self._rows_of_vertices(self.depth == np.uint32(self.level))
+        unvisited_rows = self._rows_of_vertices(self.depth == INF_DEPTH)
+        # Tile [i, j] can discover a vertex only when a frontier range
+        # meets an unvisited range (both directions for symmetric tiles).
+        need = frontier_rows[tile_rows] & unvisited_rows[tile_cols]
+        if self.symmetric:
+            need = need | (
+                frontier_rows[tile_cols] & unvisited_rows[tile_rows]
+            )
+        return need
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def frontier_size(self) -> int:
+        return self._frontier_count
+
+    def visited_count(self) -> int:
+        return int(np.count_nonzero(self.depth != INF_DEPTH))
+
+    def metadata_bytes(self) -> int:
+        return int(self.depth.nbytes)
+
+    def result(self) -> np.ndarray:
+        """Per-vertex depth (``INF_DEPTH`` for unreachable vertices)."""
+        return self.depth

@@ -1,0 +1,21 @@
+"""Comparator engines reimplemented over the same storage substrate.
+
+* :mod:`repro.baselines.xstream` — edge-centric scatter-gather-apply with
+  on-disk update streams (Roy et al., SOSP'13); fully external, streams
+  every edge every iteration, tuple size configurable (Figure 2a).
+* :mod:`repro.baselines.flashgraph` — semi-external CSR engine with
+  selective page-granular I/O and an LRU page cache (Zheng et al.,
+  FAST'15); stores both in- and out-edges.
+* :mod:`repro.baselines.gridgraph` — 2-level 2-D grid streaming with
+  OS-page-cache-style LRU (Zhu et al., ATC'15).
+
+All three run their computation for real (vectorised NumPy) so results are
+bit-comparable with G-Store's, while their I/O volume and request pattern
+are accounted on the same simulated SSD array.
+"""
+
+from repro.baselines.flashgraph import FlashGraphEngine
+from repro.baselines.gridgraph import GridGraphEngine
+from repro.baselines.xstream import XStreamEngine
+
+__all__ = ["XStreamEngine", "FlashGraphEngine", "GridGraphEngine"]

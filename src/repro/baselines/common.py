@@ -1,0 +1,63 @@
+"""Shared plumbing for the baseline engines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.runtime.cost import CostModel
+from repro.storage.device import DeviceProfile
+from repro.storage.raid import Raid0Array
+from repro.types import DEFAULT_STRIPE_BYTES
+from repro.util.timer import SimClock
+
+
+@dataclass
+class BaselineConfig:
+    """Configuration shared by the baseline engines.
+
+    Defaults mirror :class:`repro.engine.config.EngineConfig` so that a
+    comparison varies only the engine, never the hardware.
+    """
+
+    memory_bytes: int = 64 * 1024 * 1024
+    segment_bytes: int = 4 * 1024 * 1024
+    n_ssds: int = 1
+    device_profile: DeviceProfile = field(default_factory=DeviceProfile)
+    stripe_bytes: int = DEFAULT_STRIPE_BYTES
+    cost_model: CostModel = field(default_factory=CostModel)
+    overlap: bool = True
+    max_iterations: int = 100_000
+
+    def make_array(self) -> Raid0Array:
+        return Raid0Array(
+            n_devices=self.n_ssds,
+            profile=self.device_profile,
+            stripe_bytes=self.stripe_bytes,
+        )
+
+
+def chunk_extents(total_bytes: int, chunk_bytes: int) -> "list[tuple[int, int]]":
+    """Split a sequential stream of ``total_bytes`` into chunk extents."""
+    out = []
+    pos = 0
+    while pos < total_bytes:
+        size = min(chunk_bytes, total_bytes - pos)
+        out.append((pos, size))
+        pos += size
+    return out
+
+
+def phase_time(io_time: float, compute_time: float, overlap: bool) -> float:
+    """Elapsed time of one phase whose I/O and compute may overlap."""
+    return max(io_time, compute_time) if overlap else io_time + compute_time
+
+
+def pagerank_new_rank(
+    acc: np.ndarray, rank: np.ndarray, dangling: np.ndarray, damping: float
+) -> np.ndarray:
+    """The shared PageRank update step (identical across engines)."""
+    n = rank.shape[0]
+    dangling_mass = float(rank[dangling].sum())
+    return (1.0 - damping) / n + damping * (acc + dangling_mass / n)

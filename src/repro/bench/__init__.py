@@ -1,0 +1,17 @@
+"""Benchmark harness: graph build cache, table rendering, per-figure runners.
+
+Every table and figure of the paper's evaluation has a function in
+:mod:`repro.bench.experiments` that regenerates it; ``benchmarks/`` wraps
+those functions in pytest-benchmark targets.
+"""
+
+from repro.bench.harness import GraphCache, graphs, scaled_baseline_config, scaled_config
+from repro.bench.tables import Table
+
+__all__ = [
+    "Table",
+    "GraphCache",
+    "graphs",
+    "scaled_config",
+    "scaled_baseline_config",
+]

@@ -1,0 +1,936 @@
+"""Per-table / per-figure experiment runners (the paper's evaluation).
+
+Each function regenerates one table or figure of the paper at the current
+``REPRO_SCALE`` tier and returns ``(Table, data)`` — the rendered rows plus
+the raw numbers for assertions and EXPERIMENTS.md.  See DESIGN.md for the
+experiment index mapping these functions to the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms import BFS, ConnectedComponents, PageRank
+from repro.baselines.flashgraph import FlashGraphEngine
+from repro.baselines.xstream import XStreamEngine
+from repro.bench.harness import graphs, scaled_baseline_config, scaled_config
+from repro.bench.tables import Table
+from repro.cache.llc import SetAssocCache
+from repro.engine.gstore import GStoreEngine
+from repro.format.convert import conversion_report
+from repro.format.metadata import format_sizes
+from repro.format.partition2d import Partitioned2D
+from repro.format.grouping import PhysicalGrouping
+from repro.graphgen.datasets import paper_table2_rows, scale_tier
+from repro.memory.scr import CachePolicy
+from repro.util.humanize import fmt_bytes
+from repro.util.timer import WallTimer
+
+#: Number of PageRank iterations used when the experiment wants fixed work.
+PR_FIXED_ITERS = 8
+
+_SOCIAL = ["twitter-small", "friendster-small", "subdomain-small"]
+_DEFAULT_KRON = "kron-small-16"
+
+
+def _run_gstore(tg, algo, **cfg_kwargs):
+    eng = GStoreEngine(tg, scaled_config(tg, **cfg_kwargs))
+    stats = eng.run(algo)
+    return stats
+
+
+def _algo(label: str, root: int = 0):
+    if label == "bfs":
+        return BFS(root=root)
+    if label == "pagerank":
+        return PageRank(max_iterations=PR_FIXED_ITERS, tolerance=0.0)
+    if label == "cc":
+        return ConnectedComponents()
+    raise ValueError(label)
+
+
+# ---------------------------------------------------------------------- #
+# Table I — conversion time
+# ---------------------------------------------------------------------- #
+
+def table1_conversion(datasets: "list[str] | None" = None):
+    """Time edge-list→CSR vs edge-list→tiles conversion (paper Table I)."""
+    datasets = datasets or [_DEFAULT_KRON] + _SOCIAL
+    table = Table(
+        "Table I: conversion time (seconds)", ["Graph", "CSR", "G-Store"]
+    )
+    data = {}
+    from repro.graphgen.datasets import get_spec
+
+    for name in datasets:
+        el = graphs().edge_list(name)
+        tb, q = get_spec(name).geometry()
+        rep = conversion_report(el, tile_bits=tb, group_q=q)
+        table.add_row(name, rep.csr_seconds, rep.gstore_seconds)
+        data[name] = (rep.csr_seconds, rep.gstore_seconds)
+    return table, data
+
+
+# ---------------------------------------------------------------------- #
+# Table II — format sizes and space savings
+# ---------------------------------------------------------------------- #
+
+def table2_sizes():
+    """Measured sizes of local datasets + analytic paper-scale rows."""
+    table = Table(
+        "Table II: storage sizes",
+        ["Graph", "Edge list", "CSR", "G-Store", "vs EL", "vs CSR"],
+    )
+    data = {}
+    for name in [_DEFAULT_KRON, "rmat-small-16", "random-small-32"] + _SOCIAL:
+        tg = graphs().tiled(name)
+        if tg.info.directed:
+            sizes = format_sizes(
+                tg.n_vertices,
+                n_directed_edges=tg.info.n_input_edges,
+                tile_bits=tg.tile_bits,
+            )
+        else:
+            sizes = format_sizes(
+                tg.n_vertices,
+                n_undirected_edges=tg.info.n_input_edges // 2,
+                tile_bits=tg.tile_bits,
+            )
+        assert sizes.gstore_bytes == tg.storage_bytes(), name
+        table.add_row(
+            name,
+            fmt_bytes(sizes.edge_list_bytes),
+            fmt_bytes(sizes.csr_bytes),
+            fmt_bytes(sizes.gstore_bytes),
+            f"{sizes.saving_vs_edge_list:.0f}x",
+            f"{sizes.saving_vs_csr:.0f}x",
+        )
+        data[name] = sizes
+    for name, sizes in paper_table2_rows():
+        table.add_row(
+            f"[paper] {name}",
+            fmt_bytes(sizes.edge_list_bytes),
+            fmt_bytes(sizes.csr_bytes),
+            fmt_bytes(sizes.gstore_bytes),
+            f"{sizes.saving_vs_edge_list:.0f}x",
+            f"{sizes.saving_vs_csr:.0f}x",
+        )
+        data[f"paper:{name}"] = sizes
+    return table, data
+
+
+# ---------------------------------------------------------------------- #
+# Table III — largest-graph runtimes
+# ---------------------------------------------------------------------- #
+
+def table3_large_graphs(datasets: "list[str] | None" = None):
+    """Runtimes of BFS / PageRank / WCC on the biggest local graphs.
+
+    The paper's Table III reports minutes-scale runs on trillion-edge
+    graphs; here the deliverable is the same harness at local scale plus
+    BFS MTEPS throughput.
+    """
+    datasets = datasets or ["kron-large-16", "kron-trillion-256"]
+    table = Table(
+        "Table III: runtime (simulated seconds)",
+        ["Graph", "BFS", "PageRank", "WCC", "BFS MTEPS", "metadata"],
+    )
+    data = {}
+    for name in datasets:
+        tg = graphs().tiled(name)
+        row = {}
+        for label in ["bfs", "pagerank", "cc"]:
+            algo = _algo(label)
+            stats = _run_gstore(tg, algo, memory_fraction=0.125)
+            row[label] = stats
+        table.add_row(
+            name,
+            row["bfs"].sim_elapsed,
+            row["pagerank"].sim_elapsed,
+            row["cc"].sim_elapsed,
+            f"{row['bfs'].mteps():.0f}",
+            fmt_bytes(row["pagerank"].metadata_bytes),
+        )
+        data[name] = row
+    return table, data
+
+
+# ---------------------------------------------------------------------- #
+# Figure 2(a) — edge tuple size
+# ---------------------------------------------------------------------- #
+
+def fig2a_tuple_size(dataset: str = _DEFAULT_KRON):
+    """X-Stream PageRank with 16- vs 8-byte tuples (paper Figure 2a)."""
+    el = graphs().edge_list(dataset)
+    tg = graphs().tiled(dataset)
+    times = {}
+    for tb in (16, 8):
+        # Update buffers stay in memory (the paper's Figure 2(a) regime,
+        # isolating the edge-stream cost from update traffic).
+        eng = XStreamEngine(
+            el,
+            scaled_baseline_config(tg, memory_fraction=0.125),
+            tuple_bytes=tb,
+            updates_to_disk=False,
+        )
+        _, stats = eng.run_pagerank(max_iterations=PR_FIXED_ITERS, tolerance=0.0)
+        times[tb] = stats.sim_elapsed
+    table = Table(
+        "Figure 2(a): X-Stream PageRank vs tuple size",
+        ["Tuple bytes", "Sim time (s)", "Speedup vs 16B"],
+    )
+    for tb in (16, 8):
+        table.add_row(tb, times[tb], times[16] / times[tb])
+    return table, times
+
+
+# ---------------------------------------------------------------------- #
+# Figure 2(b) — metadata access localisation (real wall time)
+# ---------------------------------------------------------------------- #
+
+def fig2b_partitions(
+    scale_vertices: "int | None" = None,
+    n_edges: "int | None" = None,
+    partition_counts: "tuple[int, ...]" = (1, 2, 4, 8, 16, 32, 64, 128),
+    repeats: int = 3,
+):
+    """In-memory PageRank wall time vs number of 2-D partitions.
+
+    This is a *real* cache-locality measurement: the per-partition
+    bincount gather/scatter touches a vertex window that shrinks with the
+    partition count, so performance improves until per-partition overhead
+    takes over — the paper's 128-256-partition sweet spot.
+    """
+    tier = scale_tier()
+    if scale_vertices is None:
+        scale_vertices = {"tiny": 1 << 16, "small": 1 << 21, "large": 1 << 22}[tier]
+    if n_edges is None:
+        n_edges = scale_vertices * 8
+    rng = np.random.default_rng(17)
+    src = rng.integers(0, scale_vertices, n_edges).astype(np.uint32)
+    dst = rng.integers(0, scale_vertices, n_edges).astype(np.uint32)
+    from repro.format.edgelist import EdgeList
+
+    el = EdgeList(src, dst, scale_vertices, directed=True, name="fig2b")
+    rank = rng.random(scale_vertices)
+    times = {}
+    for parts in partition_counts:
+        grid = Partitioned2D.from_edge_list(el, parts)
+        span = grid.span
+        best = np.inf
+        for _ in range(repeats):
+            acc = np.zeros(scale_vertices, dtype=np.float64)
+            with WallTimer() as t:
+                for i, j, s, d in grid.iter_partitions():
+                    lo = j * span
+                    hi = min(lo + span, scale_vertices)
+                    acc[lo:hi] += np.bincount(
+                        d.astype(np.int64) - lo,
+                        weights=rank[s],
+                        minlength=hi - lo,
+                    )
+            best = min(best, t.elapsed)
+        times[parts] = best
+    base = times[partition_counts[0]]
+    table = Table(
+        "Figure 2(b): in-memory PageRank vs partition count",
+        ["Partitions", "Wall time (s)", "Speedup vs 1"],
+    )
+    for parts in partition_counts:
+        table.add_row(parts, times[parts], base / times[parts])
+    return table, times
+
+
+# ---------------------------------------------------------------------- #
+# Figure 2(c) — streaming memory size
+# ---------------------------------------------------------------------- #
+
+def fig2c_streaming_memory(dataset: str = _DEFAULT_KRON):
+    """X-Stream PageRank vs streaming-buffer size: essentially flat."""
+    el = graphs().edge_list(dataset)
+    tg = graphs().tiled(dataset)
+    sizes = [1 << 16, 1 << 18, 1 << 20, 1 << 22, 1 << 23]
+    times = {}
+    for seg in sizes:
+        cfg = scaled_baseline_config(tg, memory_fraction=0.125)
+        cfg.segment_bytes = seg
+        eng = XStreamEngine(el, cfg)
+        _, stats = eng.run_pagerank(max_iterations=PR_FIXED_ITERS, tolerance=0.0)
+        times[seg] = stats.sim_elapsed
+    base = times[sizes[0]]
+    table = Table(
+        "Figure 2(c): X-Stream PageRank vs streaming memory",
+        ["Stream buffer", "Sim time (s)", "Speedup vs smallest"],
+    )
+    for seg in sizes:
+        table.add_row(fmt_bytes(seg), times[seg], base / times[seg])
+    return table, times
+
+
+# ---------------------------------------------------------------------- #
+# Figure 5 — per-tile edge counts
+# ---------------------------------------------------------------------- #
+
+def fig5_tile_distribution(dataset: str = "twitter-small"):
+    """Tile-level skew of the Twitter stand-in (paper Figure 5)."""
+    tg = graphs().tiled(dataset)
+    counts = tg.tile_edge_counts()
+    total = int(counts.sum())
+    frac_empty = float((counts == 0).mean())
+    frac_small = float((counts < 1000).mean())
+    frac_big = float((counts > 100_000).mean())
+    table = Table(
+        "Figure 5: tile edge-count distribution",
+        ["Metric", "Value", "Paper (Twitter)"],
+    )
+    table.add_row("tiles", counts.shape[0], "1M")
+    table.add_row("empty tiles", f"{frac_empty:.0%}", "40%")
+    table.add_row("tiles < 1000 edges", f"{frac_small:.0%}", "82%")
+    table.add_row("tiles > 100k edges", f"{frac_big:.2%}", "0.2%")
+    table.add_row("largest tile", int(counts.max()), "36M edges")
+    table.add_row(
+        "largest tile / total", f"{counts.max() / total:.1%}", "~1.8%"
+    )
+    data = {
+        "counts_sorted": np.sort(counts)[::-1],
+        "frac_empty": frac_empty,
+        "frac_small": frac_small,
+        "frac_big": frac_big,
+    }
+    return table, data
+
+
+# ---------------------------------------------------------------------- #
+# Figure 7 — physical-group edge counts
+# ---------------------------------------------------------------------- #
+
+def fig7_group_distribution(dataset: str = "twitter-small"):
+    """Per-physical-group edge counts (paper Figure 7)."""
+    tg = graphs().tiled(dataset)
+    by_group = tg.group_edge_counts()
+    counts = np.array(sorted(by_group.values(), reverse=True), dtype=np.int64)
+    table = Table(
+        "Figure 7: physical-group edge counts",
+        ["Metric", "Value"],
+    )
+    table.add_row("groups", counts.shape[0])
+    table.add_row("smallest group edges", int(counts.min()))
+    table.add_row("largest group edges", int(counts.max()))
+    spread = counts.max() / max(counts.min(), 1)
+    table.add_row("max/min spread", f"{spread:.0f}x")
+    return table, {"counts_sorted": counts, "by_group": by_group}
+
+
+# ---------------------------------------------------------------------- #
+# Figure 9 — G-Store vs FlashGraph
+# ---------------------------------------------------------------------- #
+
+def fig9_vs_flashgraph(datasets: "list[str] | None" = None):
+    """Per-graph/algorithm speedup of G-Store over FlashGraph.
+
+    Social graphs run in both orientations (the paper's -u / -d variants).
+    """
+    specs: "list[tuple[str, bool | None]]" = []
+    for name in datasets or _SOCIAL:
+        specs.append((name, False))  # undirected variant
+        specs.append((name, True))  # directed variant
+    if datasets is None:
+        specs.append((_DEFAULT_KRON, None))
+    table = Table(
+        "Figure 9: speedup of G-Store over FlashGraph",
+        ["Graph", "BFS", "PageRank", "CC/WCC"],
+    )
+    data = {}
+    for name, directed in specs:
+        tg = graphs().tiled(name, directed_override=directed)
+        el = graphs().edge_list(name)
+        if directed is not None and directed != el.directed:
+            from repro.format.edgelist import EdgeList
+
+            el = EdgeList(
+                el.src, el.dst, el.n_vertices, directed=directed, name=el.name
+            )
+            if directed:
+                el = el.deduped().without_self_loops()
+        fg = FlashGraphEngine(el, scaled_baseline_config(tg, memory_fraction=0.125))
+        root = int(tg.out_degrees.argmax())
+        speeds = {}
+        for label in ["bfs", "pagerank", "cc"]:
+            g_stats = _run_gstore(tg, _algo(label, root=root), memory_fraction=0.125)
+            if label == "bfs":
+                _, f_stats = fg.run_bfs(root)
+            elif label == "pagerank":
+                _, f_stats = fg.run_pagerank(
+                    max_iterations=PR_FIXED_ITERS, tolerance=0.0
+                )
+            else:
+                _, f_stats = fg.run_cc()
+            speeds[label] = f_stats.sim_elapsed / g_stats.sim_elapsed
+        suffix = {True: "-d", False: "-u", None: ""}[directed]
+        table.add_row(
+            name + suffix, speeds["bfs"], speeds["pagerank"], speeds["cc"]
+        )
+        data[name + suffix] = speeds
+    return table, data
+
+
+def vs_xstream(datasets: "list[str] | None" = None):
+    """§VII-B text numbers: G-Store speedup over X-Stream."""
+    datasets = datasets or [_DEFAULT_KRON, "twitter-small"]
+    table = Table(
+        "G-Store speedup over X-Stream (§VII-B)",
+        ["Graph", "BFS", "PageRank", "CC/WCC"],
+    )
+    data = {}
+    for name in datasets:
+        tg = graphs().tiled(name)
+        el = graphs().edge_list(name)
+        xs = XStreamEngine(el, scaled_baseline_config(tg, memory_fraction=0.125))
+        root = int(tg.out_degrees.argmax())
+        speeds = {}
+        for label in ["bfs", "pagerank", "cc"]:
+            g_stats = _run_gstore(tg, _algo(label, root=root), memory_fraction=0.125)
+            if label == "bfs":
+                _, x_stats = xs.run_bfs(root)
+            elif label == "pagerank":
+                _, x_stats = xs.run_pagerank(
+                    max_iterations=PR_FIXED_ITERS, tolerance=0.0
+                )
+            else:
+                _, x_stats = xs.run_cc()
+            speeds[label] = x_stats.sim_elapsed / g_stats.sim_elapsed
+        table.add_row(name, speeds["bfs"], speeds["pagerank"], speeds["cc"])
+        data[name] = speeds
+    return table, data
+
+
+# ---------------------------------------------------------------------- #
+# Figure 10 — space-saving ablation (Base / Symmetry / Symmetry+SNB)
+# ---------------------------------------------------------------------- #
+
+def fig10_space_saving(dataset: str = _DEFAULT_KRON):
+    """Speedup from the two storage savings, same memory budget."""
+    variants = {
+        "base": dict(symmetric=False, snb=False),
+        "symmetry": dict(symmetric=True, snb=False),
+        "symmetry+snb": dict(symmetric=True, snb=True),
+    }
+    # Fixed absolute memory across variants (the paper allocates 8 GB for
+    # all three configurations).
+    ref = graphs().tiled(dataset, **variants["base"])
+    memory = max(int(ref.info.n_input_edges * 8 * 0.125), 64 * 1024)
+    times = {}
+    for label, kw in variants.items():
+        tg = graphs().tiled(dataset, **kw)
+        cfg = scaled_config(tg, memory_fraction=0.125)
+        cfg.memory_bytes = memory
+        cfg.segment_bytes = max(memory // 32, 16 * 1024)
+        results = {}
+        for algo_label in ["bfs", "pagerank"]:
+            stats = GStoreEngine(tg, cfg).run(_algo(algo_label))
+            results[algo_label] = stats.sim_elapsed
+        times[label] = results
+    table = Table(
+        "Figure 10: speedup from space saving",
+        ["Variant", "BFS speedup", "PageRank speedup"],
+    )
+    for label in variants:
+        table.add_row(
+            label,
+            times["base"]["bfs"] / times[label]["bfs"],
+            times["base"]["pagerank"] / times[label]["pagerank"],
+        )
+    return table, times
+
+
+# ---------------------------------------------------------------------- #
+# Figures 11 and 12 — physical grouping vs LLC
+# ---------------------------------------------------------------------- #
+
+def _grouping_trace_stats(
+    tg, q: int, llc_bytes: int, meta_bytes: int = 8, max_edges: int = 400_000
+):
+    """Run the PageRank metadata trace in group order through the LLC model.
+
+    The trace has one rank-array read (source side) and one accumulator
+    write (destination side) per edge, addressed at ``meta_bytes`` per
+    vertex; tiles are visited in the physical-group disk order induced by
+    ``q``.  Edges are subsampled per tile beyond ``max_edges`` total.
+    """
+    grouping = PhysicalGrouping(p=tg.p, q=q, symmetric=tg.info.symmetric)
+    pos_grid = tg.pos_grid()
+    total_edges = tg.n_edges
+    stride = max(1, total_edges // max_edges)
+    cache = SetAssocCache(size_bytes=llc_bytes, line_bytes=64, ways=16)
+    rank_base = 0
+    acc_base = tg.n_vertices * meta_bytes
+    addrs = []
+    for i, j in grouping.disk_order():
+        pos = int(pos_grid[i, j])
+        if pos < 0:
+            continue
+        tv = tg.tile_view(pos)
+        if tv.n_edges == 0:
+            continue
+        gsrc, gdst = tv.global_edges()
+        if stride > 1:
+            gsrc = gsrc[::stride]
+            gdst = gdst[::stride]
+        a = np.empty(2 * gsrc.shape[0], dtype=np.int64)
+        a[0::2] = rank_base + gsrc.astype(np.int64) * meta_bytes
+        a[1::2] = acc_base + gdst.astype(np.int64) * meta_bytes
+        addrs.append(a)
+    trace = np.concatenate(addrs) if addrs else np.empty(0, dtype=np.int64)
+    cache.access(trace)
+    return cache.stats
+
+
+def fig11_12_grouping(
+    dataset: str = _DEFAULT_KRON,
+    group_sizes: "tuple[int, ...] | None" = None,
+    llc_bytes: "int | None" = None,
+):
+    """LLC transactions/misses and derived speedup vs group composition.
+
+    Reproduces both Figure 11 (speedup, derived from a two-level memory
+    cost: hits at 1x, misses at the model's penalty) and Figure 12 (the
+    operation and miss counts themselves).
+    """
+    tg = graphs().tiled(dataset)
+    if group_sizes is None:
+        sizes = []
+        q = 1
+        while q <= tg.p:
+            sizes.append(q)
+            q *= 2
+        group_sizes = tuple(sizes)
+    if llc_bytes is None:
+        # Scale the 16 MB LLC down with the graph: well below the full
+        # 2 * |V| * 8B metadata (so grouping matters) but big enough to
+        # hold a mid-size group's working set.
+        llc_bytes = max(8 * 1024, (2 * tg.n_vertices * 8) // 8)
+        # Round to a valid geometry (line 64 x 16 ways = 1024-byte sets).
+        llc_bytes -= llc_bytes % (64 * 16)
+    miss_penalty = 4.0
+    results = {}
+    for q in group_sizes:
+        stats = _grouping_trace_stats(tg, q, llc_bytes)
+        cost = stats.hits + miss_penalty * stats.misses
+        results[q] = {
+            "operations": stats.operations,
+            "misses": stats.misses,
+            "cost": cost,
+        }
+    worst = max(r["cost"] for r in results.values())
+    table = Table(
+        f"Figures 11/12: grouping vs LLC (LLC={fmt_bytes(llc_bytes)})",
+        ["Group q (tiles)", "LLC ops", "LLC misses", "Miss rate", "Speedup"],
+    )
+    for q in group_sizes:
+        r = results[q]
+        table.add_row(
+            f"{q}x{q}",
+            r["operations"],
+            r["misses"],
+            f"{r['misses'] / max(r['operations'], 1):.1%}",
+            worst / r["cost"],
+        )
+    return table, results
+
+
+# ---------------------------------------------------------------------- #
+# Figure 13 — slide-cache-rewind vs base policy
+# ---------------------------------------------------------------------- #
+
+def fig13_scr(dataset: str = _DEFAULT_KRON):
+    """Speedup of the SCR cache+rewind policy over plain two-segment
+    streaming, at the paper's memory budget ratio."""
+    tg = graphs().tiled(dataset)
+    table = Table(
+        "Figure 13: SCR vs base policy",
+        ["Algorithm", "Base (s)", "SCR (s)", "Speedup"],
+    )
+    data = {}
+    for label in ["bfs", "pagerank", "cc"]:
+        # Paper baseline: "for BFS, we fetch for the next iteration only
+        # when we finish processing the current iteration" — the base
+        # policy cannot overlap BFS I/O with compute.
+        base = _run_gstore(
+            tg,
+            _algo(label),
+            memory_fraction=0.5,
+            cache_policy=CachePolicy.BASE,
+            overlap=(label != "bfs"),
+        )
+        scr = _run_gstore(
+            tg, _algo(label), memory_fraction=0.5, cache_policy=CachePolicy.SCR
+        )
+        speed = base.sim_elapsed / scr.sim_elapsed
+        table.add_row(label, base.sim_elapsed, scr.sim_elapsed, speed)
+        data[label] = {
+            "base": base.sim_elapsed,
+            "scr": scr.sim_elapsed,
+            "speedup": speed,
+            "bytes_base": base.bytes_read,
+            "bytes_scr": scr.bytes_read,
+        }
+    return table, data
+
+
+# ---------------------------------------------------------------------- #
+# Figure 14 — cache size sweep
+# ---------------------------------------------------------------------- #
+
+def fig14_cache_size(
+    datasets: "tuple[str, ...]" = (_DEFAULT_KRON, "twitter-small"),
+    fractions: "tuple[float, ...]" = (0.0625, 0.125, 0.25, 0.5),
+):
+    """Speedup vs streaming/caching memory size (paper's 1-8 GB sweep)."""
+    table = Table(
+        "Figure 14: effect of cache size",
+        ["Graph", "Algorithm"] + [f"{f:g}x mem" for f in fractions],
+    )
+    data = {}
+    for name in datasets:
+        tg = graphs().tiled(name)
+        for label in ["bfs", "pagerank", "cc"]:
+            times = [
+                _run_gstore(tg, _algo(label), memory_fraction=f).sim_elapsed
+                for f in fractions
+            ]
+            base = times[0]
+            table.add_row(name, label, *[base / t for t in times])
+            data[(name, label)] = times
+    return table, data
+
+
+# ---------------------------------------------------------------------- #
+# Figure 15 — SSD scaling
+# ---------------------------------------------------------------------- #
+
+def fig15_ssd_scaling(
+    dataset: str = "kron-large-16",
+    ssd_counts: "tuple[int, ...]" = (1, 2, 4, 8),
+):
+    """Throughput scaling over the RAID-0 width (paper Figure 15).
+
+    BFS/WCC stay I/O-bound and scale nearly linearly; PageRank saturates
+    the modelled CPU before eight SSDs, reproducing the crossover.
+    """
+    tg = graphs().tiled(dataset)
+    table = Table(
+        "Figure 15: scalability on SSDs (speedup vs 1 SSD)",
+        ["Algorithm"] + [f"{n} SSD" for n in ssd_counts],
+    )
+    data = {}
+    for label in ["bfs", "pagerank", "cc"]:
+        times = [
+            _run_gstore(
+                tg, _algo(label), memory_fraction=0.125, n_ssds=n
+            ).sim_elapsed
+            for n in ssd_counts
+        ]
+        base = times[0]
+        table.add_row(label, *[base / t for t in times])
+        data[label] = times
+    return table, data
+
+
+# ---------------------------------------------------------------------- #
+# Extra ablations called out in DESIGN.md
+# ---------------------------------------------------------------------- #
+
+def ablation_io_modes(dataset: str = _DEFAULT_KRON):
+    """AIO batching and I/O-compute overlap ablations (§V-B, §VI-B).
+
+    Uses BFS: its frontier-selective fetching issues many gappy requests
+    per batch, the pattern where batched AIO visibly beats synchronous
+    POSIX reads.
+    """
+    from repro.storage.aio import IOMode
+
+    tg = graphs().tiled(dataset)
+    rows = {
+        "aio+overlap": dict(io_mode=IOMode.AIO, overlap=True),
+        "aio, no overlap": dict(io_mode=IOMode.AIO, overlap=False),
+        "sync+overlap": dict(io_mode=IOMode.SYNC, overlap=True),
+        "sync, no overlap": dict(io_mode=IOMode.SYNC, overlap=False),
+    }
+    table = Table(
+        "Ablation: AIO batching and pipeline overlap (BFS)",
+        ["Configuration", "Sim time (s)", "Slowdown vs best"],
+    )
+    times = {}
+    for label, kw in rows.items():
+        stats = _run_gstore(tg, _algo("bfs"), memory_fraction=0.125, **kw)
+        times[label] = stats.sim_elapsed
+    best = min(times.values())
+    for label in rows:
+        table.add_row(label, times[label], times[label] / best)
+    return table, times
+
+
+def ablation_degree_compression(dataset: str = _DEFAULT_KRON):
+    """Degree-array compression saving (§IV-C)."""
+    from repro.format.degree import CompressedDegreeArray
+
+    tg = graphs().tiled(dataset)
+    deg = tg.out_degrees
+    comp = CompressedDegreeArray.from_degrees(deg)
+    plain4 = CompressedDegreeArray.plain_bytes(tg.n_vertices, 4)
+    table = Table(
+        "Ablation: compressed degree array",
+        ["Representation", "Bytes", "Saving"],
+    )
+    table.add_row("plain uint32", fmt_bytes(plain4), "1.0x")
+    table.add_row(
+        "compressed (2B + overflow)",
+        fmt_bytes(comp.storage_bytes()),
+        f"{plain4 / comp.storage_bytes():.2f}x",
+    )
+    data = {
+        "plain": plain4,
+        "compressed": comp.storage_bytes(),
+        "overflow_entries": comp.n_overflow,
+    }
+    return table, data
+
+
+# ---------------------------------------------------------------------- #
+# Extension experiments (the paper's future work, implemented)
+# ---------------------------------------------------------------------- #
+
+def ext_tile_compression(datasets: "tuple[str, ...]" = (_DEFAULT_KRON, "twitter-small")):
+    """Delta+varint tile compression on top of SNB (§VIII future work)."""
+    from repro.format.compress import compression_report
+
+    table = Table(
+        "Extension: tile compression beyond SNB",
+        ["Graph", "SNB bytes", "Compressed", "Extra saving"],
+    )
+    data = {}
+    for name in datasets:
+        tg = graphs().tiled(name)
+        rep = compression_report(tg)
+        table.add_row(
+            name,
+            fmt_bytes(rep["snb_bytes"]),
+            fmt_bytes(rep["compressed_bytes"]),
+            f"{rep['extra_saving']:.2f}x",
+        )
+        data[name] = rep
+    return table, data
+
+
+def ext_async_bfs(dataset: str = _DEFAULT_KRON):
+    """Asynchronous BFS (cited [26]): fewer iterations, same depths."""
+    from repro.algorithms.async_bfs import AsyncBFS
+
+    tg = graphs().tiled(dataset)
+    sync_stats = _run_gstore(tg, _algo("bfs"), memory_fraction=0.125)
+    async_algo = AsyncBFS(root=0)
+    async_stats = _run_gstore(tg, async_algo, memory_fraction=0.125)
+    table = Table(
+        "Extension: asynchronous BFS",
+        ["Variant", "Iterations", "Sim time (s)", "Bytes read"],
+    )
+    table.add_row(
+        "level-synchronous",
+        sync_stats.n_iterations,
+        sync_stats.sim_elapsed,
+        fmt_bytes(sync_stats.bytes_read),
+    )
+    table.add_row(
+        "asynchronous",
+        async_stats.n_iterations,
+        async_stats.sim_elapsed,
+        fmt_bytes(async_stats.bytes_read),
+    )
+    return table, {"sync": sync_stats, "async": async_stats}
+
+
+def ext_tiered_storage(dataset: str = _DEFAULT_KRON):
+    """Tiered SSD+HDD storage (§IX future work): PageRank sweep cost.
+
+    Compares one full-graph sequential sweep on (a) pure SSD, (b) pure
+    HDD, and (c) a 25%-hot tiered layout with dense groups packed on the
+    SSD prefix.
+    """
+    from repro.storage.raid import Raid0Array
+    from repro.storage.tiered import HDD_PROFILE, TieredArray, plan_hot_groups
+
+    tg = graphs().tiled(dataset)
+    extents = []
+    for (_gi, _gj), sl in tg.grouping.group_slices():
+        if sl.stop > sl.start:
+            off, size = tg.start_edge.run_byte_extent(sl.start, sl.stop - 1)
+            if size:
+                extents.append((off, size))
+    plan = plan_hot_groups(tg, hot_fraction=0.25)
+    ssd = Raid0Array(n_devices=2)
+    hdd = Raid0Array(n_devices=2, profile=HDD_PROFILE)
+    tiered = TieredArray(hot_bytes=int(plan["hot_bytes"]))
+    t_ssd = ssd.read_batch_time(list(extents))
+    t_hdd = hdd.read_batch_time(list(extents))
+    t_tier = tiered.read_batch_time(list(extents))
+    table = Table(
+        "Extension: tiered storage (one full sweep)",
+        ["Layout", "Sweep time (s)", "Slowdown vs SSD"],
+    )
+    table.add_row("2x SSD", t_ssd, 1.0)
+    table.add_row("25% hot tiered", t_tier, t_tier / t_ssd)
+    table.add_row("2x HDD", t_hdd, t_hdd / t_ssd)
+    return table, {"ssd": t_ssd, "tiered": t_tier, "hdd": t_hdd, "plan": plan}
+
+
+def ext_kcore(dataset: str = "twitter-small", ks: "tuple[int, ...]" = (2, 4, 8, 16)):
+    """k-core sizes of the social stand-in (extension algorithm)."""
+    from repro.algorithms.kcore import KCore
+
+    tg = graphs().tiled(dataset)
+    table = Table(
+        "Extension: k-core decomposition",
+        ["k", "Core vertices", "Fraction of |V|", "Iterations"],
+    )
+    data = {}
+    for k in ks:
+        algo = KCore(k=k)
+        stats = _run_gstore(tg, algo, memory_fraction=0.25)
+        table.add_row(
+            k,
+            algo.core_size(),
+            f"{algo.core_size() / tg.n_vertices:.1%}",
+            stats.n_iterations,
+        )
+        data[k] = {"size": algo.core_size(), "stats": stats}
+    return table, data
+
+
+def ext_scc(dataset: str = "twitter-small"):
+    """FW-BW SCC over one-orientation tiles (§IV-A's hard case).
+
+    CSR engines need both an out-CSR and an in-CSR for SCC (8 bytes per
+    edge on disk); G-Store's tiles answer forward *and* backward sweeps
+    from a single 4-byte-per-edge copy.
+    """
+    from repro.algorithms.scc import SCCDriver
+    from repro.engine.gstore import GStoreEngine
+
+    tg = graphs().tiled(dataset)
+    driver = SCCDriver(
+        lambda: GStoreEngine(tg, scaled_config(tg, memory_fraction=0.25)), tg
+    )
+    result = driver.run()
+    sizes = result.component_sizes()
+    io_bytes = sum(s.bytes_read for s in result.reachability_stats)
+    dual_csr_bytes = 2 * tg.storage_bytes()
+    table = Table(
+        "Extension: SCC (FW-BW-Trim) on one-orientation tiles",
+        ["Metric", "Value"],
+    )
+    table.add_row("components", result.n_components)
+    table.add_row("largest SCC", int(sizes.max()))
+    table.add_row("trimmed singletons", result.trimmed)
+    table.add_row("pivot rounds", result.pivot_rounds)
+    table.add_row("reachability sweeps", len(result.reachability_stats))
+    table.add_row("on-disk graph copy", fmt_bytes(tg.storage_bytes()))
+    table.add_row("dual-CSR alternative", fmt_bytes(dual_csr_bytes))
+    table.add_row("bytes read (all sweeps)", fmt_bytes(io_bytes))
+    return table, {"result": result, "io_bytes": io_bytes}
+
+
+def ext_multi_bfs(dataset: str = _DEFAULT_KRON, k: int = 8):
+    """Concurrent multi-source BFS vs k sequential traversals (iBFS [22])."""
+    import numpy as np
+
+    from repro.algorithms.multibfs import MultiSourceBFS
+
+    tg = graphs().tiled(dataset)
+    rng = np.random.default_rng(41)
+    roots = rng.integers(0, tg.n_vertices, k).tolist()
+
+    multi = MultiSourceBFS(roots)
+    m_stats = _run_gstore(tg, multi, memory_fraction=0.125)
+    singles = [
+        _run_gstore(tg, _algo("bfs", root=r), memory_fraction=0.125)
+        for r in roots
+    ]
+    single_demand = sum(s.bytes_read + s.bytes_from_cache for s in singles)
+    single_time = sum(s.sim_elapsed for s in singles)
+    multi_demand = m_stats.bytes_read + m_stats.bytes_from_cache
+    table = Table(
+        f"Extension: concurrent multi-source BFS (k={k})",
+        ["Variant", "Sim time (s)", "Data demanded"],
+    )
+    table.add_row(f"{k} sequential BFS", single_time, fmt_bytes(single_demand))
+    table.add_row("1 concurrent batch", m_stats.sim_elapsed, fmt_bytes(multi_demand))
+    return table, {
+        "multi": m_stats,
+        "single_time": single_time,
+        "single_demand": single_demand,
+        "multi_demand": multi_demand,
+    }
+
+
+def ext_direction_optimizing_bfs(dataset: str = _DEFAULT_KRON):
+    """Beamer-style direction-optimised tile selection (§II-B citation).
+
+    The AND-predicate (frontier range x unvisited range) skips tiles the
+    plain frontier-OR selection would read, with identical results.  The
+    experiment runs two workloads to show both outcomes honestly:
+
+    * a *high-diameter* chained-ring graph, where whole vertex ranges
+      finish early and the AND side prunes aggressively;
+    * the small-diameter power-law dataset, where every range keeps an
+      unvisited vertex until the final levels and range-granular
+      direction optimisation cannot help (a real negative result).
+    """
+    import numpy as np
+
+    from repro.algorithms.bfs import BFS
+    from repro.engine.gstore import GStoreEngine
+    from repro.format.edgelist import EdgeList
+    from repro.format.tiles import TiledGraph
+
+    def run_pair(tg, root=0):
+        plain = _run_gstore(tg, BFS(root=root), memory_fraction=0.125)
+        opt = _run_gstore(
+            tg, BFS(root=root, direction_optimizing=True), memory_fraction=0.125
+        )
+        return plain, opt
+
+    # High-diameter workload: rings of tile-span size chained into a path.
+    tier = scale_tier()
+    n = {"tiny": 1 << 10, "small": 1 << 14, "large": 1 << 16}[tier]
+    ring = np.arange(n, dtype=np.uint32)
+    el = EdgeList(
+        ring, np.roll(ring, -1), n, directed=False, name="lattice"
+    )
+    lattice = TiledGraph.from_edge_list(el, tile_bits=8, group_q=4)
+    l_plain, l_opt = run_pair(lattice)
+
+    tg = graphs().tiled(dataset)
+    k_plain, k_opt = run_pair(tg)
+
+    table = Table(
+        "Extension: direction-optimised BFS selection",
+        ["Workload", "Variant", "Data demanded", "Tiles processed"],
+    )
+    for label, st in [
+        ("high-diameter ring", l_plain),
+        ("high-diameter ring (opt)", l_opt),
+        (dataset, k_plain),
+        (f"{dataset} (opt)", k_opt),
+    ]:
+        table.add_row(
+            label,
+            "AND" if label.endswith("(opt)") else "OR",
+            fmt_bytes(st.bytes_read + st.bytes_from_cache),
+            st.tiles_fetched + st.tiles_from_cache,
+        )
+    return table, {
+        "lattice_plain": l_plain,
+        "lattice_opt": l_opt,
+        "plain": k_plain,
+        "opt": k_opt,
+    }

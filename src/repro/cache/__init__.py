@@ -1,0 +1,13 @@
+"""Cache substrates: a hardware-LLC simulator and an LRU page cache.
+
+* :mod:`repro.cache.llc` replaces the perf-counter measurements of the
+  paper's Figures 11/12 with a trace-driven set-associative cache model.
+* :mod:`repro.cache.pagecache` is the simple LRU caching policy the paper
+  attributes to FlashGraph / the OS page cache — the foil that proactive
+  caching beats.
+"""
+
+from repro.cache.llc import CacheStats, SetAssocCache
+from repro.cache.pagecache import LRUPageCache
+
+__all__ = ["SetAssocCache", "CacheStats", "LRUPageCache"]

@@ -1,0 +1,257 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``datasets``
+    List the registered datasets and their paper counterparts.
+``info NAME``
+    Generate a dataset and print its shape and tile-skew profile.
+``convert NAME --out DIR``
+    Build the tile format on disk (data file + start-edge + metadata).
+``run ALGO NAME``
+    Run an algorithm semi-externally and print the statistics summary.
+``bench EXPERIMENT``
+    Regenerate one paper table/figure and print it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.util.humanize import fmt_bytes
+
+_ALGORITHMS = ("bfs", "async-bfs", "pagerank", "cc", "sssp", "spmv", "kcore")
+
+_EXPERIMENTS = (
+    "table1", "table2", "table3",
+    "fig2a", "fig2b", "fig2c", "fig5", "fig7", "fig9", "fig10",
+    "fig11", "fig13", "fig14", "fig15",
+    "xstream", "io-modes", "degree-compression",
+)
+
+
+def _make_algorithm(label: str, root: int, k: int = 2):
+    from repro.algorithms import (
+        BFS,
+        ConnectedComponents,
+        KCore,
+        PageRank,
+        SpMV,
+        SSSP,
+    )
+    from repro.algorithms.async_bfs import AsyncBFS
+
+    if label == "kcore":
+        return KCore(k=k)
+    if label == "bfs":
+        return BFS(root=root)
+    if label == "async-bfs":
+        return AsyncBFS(root=root)
+    if label == "pagerank":
+        return PageRank()
+    if label == "cc":
+        return ConnectedComponents()
+    if label == "sssp":
+        return SSSP(root=root)
+    if label == "spmv":
+        return SpMV()
+    raise SystemExit(f"unknown algorithm {label!r}; choose from {_ALGORITHMS}")
+
+
+def _experiment_fn(label: str):
+    import repro.bench.experiments as E
+
+    table = {
+        "table1": E.table1_conversion,
+        "table2": E.table2_sizes,
+        "table3": E.table3_large_graphs,
+        "fig2a": E.fig2a_tuple_size,
+        "fig2b": E.fig2b_partitions,
+        "fig2c": E.fig2c_streaming_memory,
+        "fig5": E.fig5_tile_distribution,
+        "fig7": E.fig7_group_distribution,
+        "fig9": E.fig9_vs_flashgraph,
+        "fig10": E.fig10_space_saving,
+        "fig11": E.fig11_12_grouping,
+        "fig13": E.fig13_scr,
+        "fig14": E.fig14_cache_size,
+        "fig15": E.fig15_ssd_scaling,
+        "xstream": E.vs_xstream,
+        "io-modes": E.ablation_io_modes,
+        "degree-compression": E.ablation_degree_compression,
+    }
+    try:
+        return table[label]
+    except KeyError:
+        raise SystemExit(
+            f"unknown experiment {label!r}; choose from {_EXPERIMENTS}"
+        ) from None
+
+
+def cmd_datasets(_args: argparse.Namespace) -> int:
+    from repro.graphgen.datasets import dataset_names, get_spec
+
+    for name in dataset_names():
+        spec = get_spec(name)
+        kind = "directed" if spec.directed else "undirected"
+        print(f"{name:<22} {kind:<10} ~ {spec.paper_counterpart}")
+        print(f"{'':<22} {spec.description}")
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    from repro.format.tiles import TiledGraph
+    from repro.graphgen.datasets import get_spec
+
+    spec = get_spec(args.name)
+    el = spec.load(args.tier)
+    tb, q = spec.geometry(args.tier)
+    tg = TiledGraph.from_edge_list(el, tile_bits=tb, group_q=q)
+    counts = tg.tile_edge_counts()
+    print(el)
+    print(
+        f"tiles: {tg.n_tiles:,} ({tg.p}x{tg.p} grid, tile_bits={tb}, q={q})"
+    )
+    print(f"payload: {fmt_bytes(tg.storage_bytes())} "
+          f"(+{fmt_bytes(tg.start_edge.storage_bytes())} start-edge)")
+    print(
+        f"tile skew: {(counts == 0).mean():.0%} empty, "
+        f"{(counts < 1000).mean():.0%} under 1000 edges, "
+        f"largest {int(counts.max()):,} edges"
+    )
+    return 0
+
+
+def cmd_convert(args: argparse.Namespace) -> int:
+    from repro.format.convert import convert_to_tiles
+    from repro.graphgen.datasets import get_spec
+
+    spec = get_spec(args.name)
+    el = spec.load(args.tier)
+    tb, q = spec.geometry(args.tier)
+    tb = args.tile_bits if args.tile_bits is not None else tb
+    q = args.group_q if args.group_q is not None else q
+    tg, seconds = convert_to_tiles(el, tile_bits=tb, group_q=q)
+    tg.save(args.out)
+    print(
+        f"converted {args.name} in {seconds:.2f}s -> {args.out} "
+        f"({fmt_bytes(tg.total_disk_bytes())})"
+    )
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    from repro.bench.harness import graphs, scaled_config
+    from repro.engine.gstore import GStoreEngine
+    from repro.memory.scr import CachePolicy
+
+    tg = graphs().tiled(args.name, tier=args.tier)
+    algo = _make_algorithm(args.algorithm, root=args.root, k=args.k)
+    cfg = scaled_config(
+        tg,
+        memory_fraction=args.memory_fraction,
+        n_ssds=args.ssds,
+        cache_policy=CachePolicy.BASE if args.no_scr else CachePolicy.SCR,
+    )
+    stats = GStoreEngine(tg, cfg).run(algo)
+    print(stats.summary())
+    return 0
+
+
+def cmd_fsck(args: argparse.Namespace) -> int:
+    from repro.format.tiles import TiledGraph
+    from repro.format.validate import check_tiled_graph
+
+    tg = TiledGraph.load(args.directory)
+    rep = check_tiled_graph(tg, deep=not args.shallow)
+    print(rep)
+    return 0 if rep.ok else 1
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    fn = _experiment_fn(args.experiment)
+    table, _ = fn()
+    print(table)
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.bench.report import build_report
+
+    text, status = build_report(args.results)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(
+            f"wrote {args.out}: {len(status.found)} experiments, "
+            f"{len(status.missing)} missing"
+        )
+    else:
+        print(text)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="G-Store (SC'16) reproduction command line",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list registered datasets").set_defaults(
+        fn=cmd_datasets
+    )
+
+    pi = sub.add_parser("info", help="dataset shape and tile skew")
+    pi.add_argument("name")
+    pi.add_argument("--tier", default=None, choices=["tiny", "small", "large"])
+    pi.set_defaults(fn=cmd_info)
+
+    pc = sub.add_parser("convert", help="build the tile format on disk")
+    pc.add_argument("name")
+    pc.add_argument("--out", required=True)
+    pc.add_argument("--tier", default=None, choices=["tiny", "small", "large"])
+    pc.add_argument("--tile-bits", type=int, default=None)
+    pc.add_argument("--group-q", type=int, default=None)
+    pc.set_defaults(fn=cmd_convert)
+
+    pr = sub.add_parser("run", help="run an algorithm semi-externally")
+    pr.add_argument("algorithm", choices=_ALGORITHMS)
+    pr.add_argument("name")
+    pr.add_argument("--tier", default=None, choices=["tiny", "small", "large"])
+    pr.add_argument("--root", type=int, default=0)
+    pr.add_argument("--k", type=int, default=2, help="k for kcore")
+    pr.add_argument("--memory-fraction", type=float, default=0.25)
+    pr.add_argument("--ssds", type=int, default=1)
+    pr.add_argument("--no-scr", action="store_true",
+                    help="use the two-segment base policy instead of SCR")
+    pr.set_defaults(fn=cmd_run)
+
+    pf = sub.add_parser("fsck", help="audit an on-disk tile graph")
+    pf.add_argument("directory")
+    pf.add_argument("--shallow", action="store_true",
+                    help="metadata checks only (skip payload walk)")
+    pf.set_defaults(fn=cmd_fsck)
+
+    pb = sub.add_parser("bench", help="regenerate one paper table/figure")
+    pb.add_argument("experiment", choices=_EXPERIMENTS)
+    pb.set_defaults(fn=cmd_bench)
+
+    pr2 = sub.add_parser(
+        "report", help="collate benchmarks/results into one markdown report"
+    )
+    pr2.add_argument("--results", default="benchmarks/results")
+    pr2.add_argument("--out", default=None)
+    pr2.set_defaults(fn=cmd_report)
+
+    return p
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

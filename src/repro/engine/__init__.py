@@ -1,0 +1,7 @@
+"""The G-Store engine: selective tile I/O + SCR caching + pipelined compute."""
+
+from repro.engine.config import EngineConfig
+from repro.engine.gstore import GStoreEngine
+from repro.engine.stats import IterationStats, RunStats
+
+__all__ = ["GStoreEngine", "EngineConfig", "RunStats", "IterationStats"]

@@ -1,0 +1,71 @@
+"""Engine configuration (the knobs of the paper's experiments).
+
+Every optimisation the paper ablates is a field here:
+
+* ``memory_bytes`` / ``segment_bytes`` — the streaming/caching split
+  (Figures 13 and 14 vary these; paper defaults: 8 GB memory, 256 MB
+  segments).
+* ``cache_policy`` — SCR vs the two-segment base policy (Figure 13).
+* ``n_ssds`` — RAID-0 width (Figure 15).
+* ``io_mode`` — batched AIO vs synchronous POSIX reads (§V-B).
+* ``overlap`` — pipeline I/O with compute (the *slide*) or serialise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import StorageError
+from repro.memory.scr import CachePolicy
+from repro.runtime.cost import CostModel
+from repro.storage.aio import IOMode
+from repro.storage.device import DeviceProfile
+from repro.types import DEFAULT_STRIPE_BYTES
+
+
+@dataclass
+class EngineConfig:
+    """Configuration of a :class:`~repro.engine.gstore.GStoreEngine` run."""
+
+    #: Memory reserved for streaming + caching graph data (scaled-down
+    #: default; the paper uses 8 GB).
+    memory_bytes: int = 64 * 1024 * 1024
+    #: Size of each of the two streaming segments (paper: 256 MB).
+    segment_bytes: int = 4 * 1024 * 1024
+    #: Caching policy: SCR (default) or the Figure 13 base policy.
+    cache_policy: CachePolicy = CachePolicy.SCR
+    #: Number of SSDs in the RAID-0 array.
+    n_ssds: int = 1
+    #: Per-device performance profile.
+    device_profile: DeviceProfile = field(default_factory=DeviceProfile)
+    #: RAID-0 stripe size (paper: 64 KB).
+    stripe_bytes: int = DEFAULT_STRIPE_BYTES
+    #: Batched AIO vs synchronous POSIX request issue.
+    io_mode: IOMode = IOMode.AIO
+    #: Overlap I/O with compute (the *slide*); False serialises them.
+    overlap: bool = True
+    #: Compute-time model for the pipelined timeline.
+    cost_model: CostModel = field(default_factory=CostModel)
+    #: Safety valve on iteration count (algorithms have their own limits).
+    max_iterations: int = 100_000
+    #: When set, the graph lives on tiered storage: this fraction of the
+    #: payload (the disk-order prefix, where dense groups are packed) sits
+    #: on the SSD array and the rest on an HDD array (§IX future work).
+    tiered_hot_fraction: "float | None" = None
+    #: Number of HDDs backing the cold tier when tiering is enabled.
+    n_hdds: int = 2
+
+    def __post_init__(self) -> None:
+        if self.memory_bytes < 2 * self.segment_bytes:
+            raise StorageError(
+                f"memory_bytes={self.memory_bytes} cannot hold two "
+                f"{self.segment_bytes}-byte segments"
+            )
+        if self.n_ssds < 1:
+            raise StorageError("need at least one SSD")
+        if self.tiered_hot_fraction is not None and not (
+            0.0 <= self.tiered_hot_fraction <= 1.0
+        ):
+            raise StorageError("tiered_hot_fraction must be in [0, 1]")
+        if self.n_hdds < 1:
+            raise StorageError("need at least one HDD in the cold tier")

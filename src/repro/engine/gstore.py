@@ -1,0 +1,247 @@
+"""The G-Store engine (paper §III overview; §V-§VI mechanics).
+
+Per iteration the engine:
+
+1. asks the algorithm which tile rows are active and *selects* the needed
+   tiles (§V-B);
+2. *rewinds*: tiles already in the cache pool are processed first, with no
+   I/O (§VI-D);
+3. *slides*: the remaining tiles stream through two segments — batch
+   ``k+1`` is fetched by AIO while batch ``k`` computes, so each pipeline
+   step costs ``max(io, compute)`` (§VI-B);
+4. *caches*: processed tiles enter the pool under the proactive rules;
+   when the pool fills, analysis evicts tiles the next iteration will not
+   need (§VI-C).
+
+All kernels run for real over real tile bytes; I/O time comes from the
+simulated SSD array and compute time from the cost model (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algorithms.base import TileAlgorithm
+from repro.engine.config import EngineConfig
+from repro.engine.selective import merge_requests, select_positions, slice_run
+from repro.engine.stats import IterationStats, RunStats
+from repro.errors import AlgorithmError
+from repro.format.tiles import TiledGraph
+from repro.memory.scr import SCRScheduler
+from repro.memory.segments import MemoryBudget, TileBuffer
+from repro.storage.aio import AIOContext
+from repro.storage.device import DeviceProfile
+from repro.storage.file import TileStore
+from repro.storage.raid import Raid0Array
+from repro.util.timer import SimClock, WallTimer
+from repro.runtime.pipeline import PipelineTimeline
+
+
+@dataclass
+class _Batch:
+    """One fetched segment: decoded tile buffers + modeled compute time."""
+
+    buffers: "list[TileBuffer]"
+    edges: int
+
+
+class GStoreEngine:
+    """Semi-external graph engine over the tile format."""
+
+    name = "gstore"
+
+    def __init__(self, graph: TiledGraph, config: "EngineConfig | None" = None):
+        self.graph = graph
+        self.config = config or EngineConfig()
+        self.clock = SimClock()
+        profile: DeviceProfile = self.config.device_profile
+        ssd = Raid0Array(
+            n_devices=self.config.n_ssds,
+            profile=profile,
+            stripe_bytes=self.config.stripe_bytes,
+        )
+        if self.config.tiered_hot_fraction is not None:
+            from repro.storage.tiered import HDD_PROFILE, TieredArray
+
+            hot_bytes = int(
+                graph.storage_bytes() * self.config.tiered_hot_fraction
+            )
+            self.array = TieredArray(
+                hot_bytes=hot_bytes,
+                ssd=ssd,
+                hdd=Raid0Array(
+                    n_devices=self.config.n_hdds,
+                    profile=HDD_PROFILE,
+                    stripe_bytes=self.config.stripe_bytes,
+                ),
+            )
+        else:
+            self.array = ssd
+        self.store = TileStore.from_tiled_graph(graph)
+        self.aio = AIOContext(
+            store=self.store, array=self.array, clock=self.clock,
+            mode=self.config.io_mode,
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def run(self, algorithm: TileAlgorithm) -> RunStats:
+        """Execute the algorithm to convergence; returns full statistics."""
+        cfg = self.config
+        g = self.graph
+        with WallTimer() as wall:
+            algorithm.setup(g)
+            budget = MemoryBudget(
+                total_bytes=cfg.memory_bytes, segment_bytes=cfg.segment_bytes
+            )
+            scr = SCRScheduler(budget=budget, policy=cfg.cache_policy)
+            stats = RunStats(
+                engine=self.name,
+                algorithm=algorithm.name,
+                graph=g.info.name,
+            )
+            timeline = PipelineTimeline(clock=self.clock, overlap=cfg.overlap)
+
+            iteration = 0
+            while iteration < cfg.max_iterations:
+                it_stats = self._run_iteration(algorithm, scr, timeline, iteration)
+                stats.add_iteration(it_stats)
+                if not algorithm.end_iteration(iteration):
+                    break
+                scr.end_iteration(
+                    g.tile_rows,
+                    g.tile_cols,
+                    algorithm.rows_active(),
+                    g.info.symmetric,
+                    algorithm.cols_active(),
+                )
+                iteration += 1
+            else:
+                raise AlgorithmError(
+                    f"{algorithm.name} did not converge within "
+                    f"{cfg.max_iterations} iterations"
+                )
+
+        stats.wall_seconds = wall.elapsed
+        stats.metadata_bytes = algorithm.metadata_bytes()
+        stats.extra["scr"] = scr.stats
+        stats.extra["pipeline"] = timeline.totals
+        return stats
+
+    # ------------------------------------------------------------------ #
+
+    def _run_iteration(
+        self,
+        algorithm: TileAlgorithm,
+        scr: SCRScheduler,
+        timeline: PipelineTimeline,
+        iteration: int,
+    ) -> IterationStats:
+        cfg = self.config
+        g = self.graph
+        it = IterationStats(iteration=iteration)
+        elapsed_before = timeline.totals.elapsed
+        algorithm.begin_iteration(iteration)
+
+        needed = select_positions(
+            g,
+            algorithm.rows_active(),
+            algorithm.cols_active(),
+            algorithm.tile_mask(g.tile_rows, g.tile_cols),
+        )
+        cached, to_fetch = scr.split_cached(needed, g.start_edge)
+
+        # --- Rewind: consume the pool before any I/O (§VI-D). ---
+        if cached:
+            edges = 0
+            rewound: "list[TileBuffer]" = []
+            for pos in cached:
+                buf = scr.cached_buffer(pos)
+                tv = g.view_from_bytes(pos, buf.data)
+                edges += algorithm.process_tile(tv)
+                rewound.append(buf)
+            t = cfg.cost_model.compute_time(
+                algorithm.name, edges * algorithm.direction_passes, len(cached)
+            )
+            timeline.compute_only(t)
+            it.compute_time += t
+            it.tiles_from_cache += len(cached)
+            it.edges_processed += edges
+            cached_bytes = 0
+            for pos in cached:
+                _, size = g.start_edge.byte_extent(pos)
+                cached_bytes += size
+            it.bytes_from_cache += cached_bytes
+            # Rewound tiles stay pooled only if still useful; re-offer them.
+            scr.offer(
+                rewound,
+                g.tile_rows,
+                g.tile_cols,
+                algorithm.rows_active_next(),
+                g.info.symmetric,
+                algorithm.cols_active_next(),
+            )
+
+        # --- Slide: overlapped fetch/compute over segment batches. ---
+        batches = scr.segment_batches(to_fetch, g.start_edge)
+        prev: "_Batch | None" = None
+        for batch_positions in batches:
+            requests = merge_requests(batch_positions, g.start_edge)
+            self.aio.submit(requests)
+            events, io_t = self.aio.poll()
+
+            # Compute on the *previous* batch overlaps this fetch.
+            comp_t = 0.0
+            if prev is not None:
+                comp_t = self._process_batch(algorithm, scr, prev, it)
+            timeline.step(io_t, comp_t)
+            it.io_time += io_t
+            it.compute_time += comp_t
+
+            buffers: "list[TileBuffer]" = []
+            edges = 0
+            for ev in events:
+                for pos, raw in slice_run(ev.data, ev.tag, g.start_edge):
+                    i = int(g.tile_rows[pos])
+                    j = int(g.tile_cols[pos])
+                    buffers.append(TileBuffer(pos=pos, i=i, j=j, data=raw))
+                    edges += g.start_edge.edge_count(pos)
+            it.bytes_read += sum(r.size for r in requests)
+            it.tiles_fetched += len(buffers)
+            prev = _Batch(buffers=buffers, edges=edges)
+
+        # Pipeline drain: the last fetched batch computes with no I/O.
+        if prev is not None:
+            comp_t = self._process_batch(algorithm, scr, prev, it)
+            timeline.compute_only(comp_t)
+            it.compute_time += comp_t
+
+        it.elapsed = timeline.totals.elapsed - elapsed_before
+        return it
+
+    def _process_batch(
+        self,
+        algorithm: TileAlgorithm,
+        scr: SCRScheduler,
+        batch: _Batch,
+        it: IterationStats,
+    ) -> float:
+        g = self.graph
+        edges = 0
+        for buf in batch.buffers:
+            tv = g.view_from_bytes(buf.pos, buf.data)
+            edges += algorithm.process_tile(tv)
+        it.edges_processed += edges
+        scr.offer(
+            batch.buffers,
+            g.tile_rows,
+            g.tile_cols,
+            algorithm.rows_active_next(),
+            g.info.symmetric,
+            algorithm.cols_active_next(),
+        )
+        return self.config.cost_model.compute_time(
+            algorithm.name,
+            edges * algorithm.direction_passes,
+            len(batch.buffers),
+        )

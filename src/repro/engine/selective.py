@@ -1,0 +1,87 @@
+"""Selective tile fetching (paper §V-B).
+
+Given the algorithm's per-row activity, decide which disk positions must be
+read this iteration and merge adjacent tiles into few large AIO requests
+("these I/Os would be merged into a single AIO system call").  Empty tiles
+are skipped outright, and byte-adjacent runs of needed tiles collapse into
+one extent — within a physical group every run is sequential on disk.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.format.startedge import StartEdgeIndex
+from repro.format.tiles import TiledGraph
+from repro.memory.proactive import tiles_needed_for_rows
+from repro.storage.aio import IORequest
+
+
+def select_positions(
+    graph: TiledGraph,
+    rows_active: np.ndarray,
+    cols_active: "np.ndarray | None" = None,
+    tile_mask: "np.ndarray | None" = None,
+) -> "list[int]":
+    """Disk positions (in disk order) the current iteration must process.
+
+    ``tile_mask`` (when an algorithm provides one) is an exact per-tile
+    predicate that overrides the row/column OR-combination.
+    """
+    if tile_mask is not None:
+        need = np.asarray(tile_mask, dtype=bool)
+    else:
+        need = tiles_needed_for_rows(
+            graph.tile_rows,
+            graph.tile_cols,
+            rows_active,
+            graph.info.symmetric,
+            col_active=cols_active,
+        )
+    nonempty = graph.tile_edge_counts() > 0
+    return np.nonzero(need & nonempty)[0].tolist()
+
+
+def merge_requests(
+    positions: "list[int]", start_edge: StartEdgeIndex
+) -> "list[IORequest]":
+    """Merge byte-adjacent positions into single extents.
+
+    The request ``tag`` carries the list of tile positions the extent
+    covers, so completions can be sliced back into tiles.
+    """
+    requests: "list[IORequest]" = []
+    run: "list[int]" = []
+    run_off = 0
+    run_end = 0
+    for pos in positions:
+        off, size = start_edge.byte_extent(pos)
+        if run and off == run_end:
+            run.append(pos)
+            run_end += size
+        else:
+            if run:
+                requests.append(
+                    IORequest(offset=run_off, size=run_end - run_off, tag=list(run))
+                )
+            run = [pos]
+            run_off = off
+            run_end = off + size
+    if run:
+        requests.append(
+            IORequest(offset=run_off, size=run_end - run_off, tag=list(run))
+        )
+    return requests
+
+
+def slice_run(
+    data: bytes, positions: "list[int]", start_edge: StartEdgeIndex
+) -> "list[tuple[int, bytes]]":
+    """Split a merged extent's payload back into per-tile byte strings."""
+    out = []
+    base, _ = start_edge.byte_extent(positions[0])
+    for pos in positions:
+        off, size = start_edge.byte_extent(pos)
+        rel = off - base
+        out.append((pos, data[rel : rel + size]))
+    return out

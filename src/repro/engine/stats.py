@@ -1,0 +1,97 @@
+"""Run statistics collected by every engine (G-Store and the baselines).
+
+``sim_elapsed`` is the pipelined simulated time (the number every speedup
+figure uses); ``wall_seconds`` is the real Python time (what
+pytest-benchmark records).  Byte counters separate disk reads from cache
+hits so the SCR experiments can attribute their wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.humanize import fmt_bytes, fmt_count, fmt_time
+
+
+@dataclass
+class IterationStats:
+    """Per-iteration accounting."""
+
+    iteration: int
+    io_time: float = 0.0
+    compute_time: float = 0.0
+    elapsed: float = 0.0
+    bytes_read: int = 0
+    bytes_from_cache: int = 0
+    tiles_fetched: int = 0
+    tiles_from_cache: int = 0
+    edges_processed: int = 0
+
+
+@dataclass
+class RunStats:
+    """Whole-run accounting for one algorithm execution."""
+
+    engine: str = "gstore"
+    algorithm: str = ""
+    graph: str = ""
+    iterations: "list[IterationStats]" = field(default_factory=list)
+    sim_elapsed: float = 0.0
+    io_time: float = 0.0
+    compute_time: float = 0.0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    bytes_from_cache: int = 0
+    tiles_fetched: int = 0
+    tiles_from_cache: int = 0
+    edges_processed: int = 0
+    wall_seconds: float = 0.0
+    metadata_bytes: int = 0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def n_iterations(self) -> int:
+        return len(self.iterations)
+
+    def add_iteration(self, it: IterationStats) -> None:
+        self.iterations.append(it)
+        self.io_time += it.io_time
+        self.compute_time += it.compute_time
+        self.sim_elapsed += it.elapsed
+        self.bytes_read += it.bytes_read
+        self.bytes_from_cache += it.bytes_from_cache
+        self.tiles_fetched += it.tiles_fetched
+        self.tiles_from_cache += it.tiles_from_cache
+        self.edges_processed += it.edges_processed
+
+    def mteps(self) -> float:
+        """Million traversed edges per second on the simulated timeline
+        (the paper's BFS throughput metric, §VII-A)."""
+        if self.sim_elapsed <= 0:
+            return 0.0
+        return self.edges_processed / self.sim_elapsed / 1e6
+
+    def cache_hit_fraction(self) -> float:
+        total = self.bytes_read + self.bytes_from_cache
+        return self.bytes_from_cache / total if total else 0.0
+
+    def summary(self) -> str:
+        """Multi-line human-readable report."""
+        lines = [
+            f"{self.engine}/{self.algorithm} on {self.graph or '<graph>'}: "
+            f"{self.n_iterations} iterations, sim {fmt_time(self.sim_elapsed)} "
+            f"(io {fmt_time(self.io_time)}, compute {fmt_time(self.compute_time)}), "
+            f"wall {fmt_time(self.wall_seconds)}",
+            f"  I/O: {fmt_bytes(self.bytes_read)} read"
+            + (
+                f" + {fmt_bytes(self.bytes_written)} written"
+                if self.bytes_written
+                else ""
+            )
+            + f", cache supplied {fmt_bytes(self.bytes_from_cache)} "
+            f"({self.cache_hit_fraction():.0%} of demand)",
+            f"  work: {fmt_count(self.edges_processed)} edges processed "
+            f"({self.mteps():.1f} MTEPS), tiles {self.tiles_fetched} fetched / "
+            f"{self.tiles_from_cache} cached",
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,27 @@
+"""Exception hierarchy for the G-Store reproduction."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class FormatError(ReproError):
+    """Raised when graph data violates a storage-format invariant."""
+
+
+class StorageError(ReproError):
+    """Raised by the simulated storage substrate (device/RAID/AIO layer)."""
+
+
+class MemoryBudgetError(ReproError):
+    """Raised when a memory budget cannot accommodate a mandatory allocation."""
+
+
+class AlgorithmError(ReproError):
+    """Raised when an algorithm is configured or driven incorrectly."""
+
+
+class DatasetError(ReproError):
+    """Raised when a named dataset cannot be resolved or generated."""

@@ -1,0 +1,140 @@
+"""On-disk physical grouping of tiles (paper §V-A, Figures 6 and 7).
+
+A graph with ``p**2`` tiles is grouped into ``g = ceil(p / q)`` physical
+groups per side, each covering ``q x q`` tiles.  Tiles of one group are laid
+out contiguously on disk so the whole group is one sequential read, and the
+group's algorithmic metadata (the two ``q * 2**tile_bits`` vertex ranges it
+touches) fits in the last-level cache.
+
+Disk order: groups in row-major order; inside a group, tiles in row-major
+order.  For a symmetric (upper-triangle) graph only tiles with ``j >= i``
+exist, and only groups intersecting the upper triangle are emitted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import FormatError
+from repro.util.bitops import ceil_div
+
+
+@dataclass(frozen=True)
+class PhysicalGrouping:
+    """Geometry of the tile grid and its physical groups.
+
+    Parameters
+    ----------
+    p:
+        Tiles per side of the full grid.
+    q:
+        Tiles per side of one physical group (paper: 256 for Twitter).
+    symmetric:
+        When True only upper-triangle tiles (``j >= i``) exist.
+    """
+
+    p: int
+    q: int
+    symmetric: bool
+
+    def __post_init__(self) -> None:
+        if self.p <= 0:
+            raise FormatError(f"p must be positive, got {self.p}")
+        if self.q <= 0:
+            raise FormatError(f"q must be positive, got {self.q}")
+
+    @property
+    def g(self) -> int:
+        """Groups per side (paper: ``g = p / q``)."""
+        return ceil_div(self.p, self.q)
+
+    @property
+    def n_tiles(self) -> int:
+        """Number of stored tiles."""
+        if self.symmetric:
+            return self.p * (self.p + 1) // 2
+        return self.p * self.p
+
+    # ------------------------------------------------------------------ #
+    # Iteration orders
+    # ------------------------------------------------------------------ #
+
+    def groups(self) -> "list[tuple[int, int]]":
+        """Group coordinates in disk order (row-major over the group grid)."""
+        out = []
+        for gi in range(self.g):
+            for gj in range(self.g):
+                if self.symmetric and gj < gi:
+                    continue
+                out.append((gi, gj))
+        return out
+
+    def tiles_in_group(self, gi: int, gj: int) -> "list[tuple[int, int]]":
+        """Tile coordinates of group ``(gi, gj)`` in disk order."""
+        if not (0 <= gi < self.g and 0 <= gj < self.g):
+            raise FormatError(f"group ({gi},{gj}) outside {self.g}x{self.g} grid")
+        out = []
+        for i in range(gi * self.q, min((gi + 1) * self.q, self.p)):
+            for j in range(gj * self.q, min((gj + 1) * self.q, self.p)):
+                if self.symmetric and j < i:
+                    continue
+                out.append((i, j))
+        return out
+
+    def disk_order(self) -> "list[tuple[int, int]]":
+        """All stored tiles in their on-disk order."""
+        out = []
+        for gi, gj in self.groups():
+            out.extend(self.tiles_in_group(gi, gj))
+        return out
+
+    def group_of_tile(self, i: int, j: int) -> tuple[int, int]:
+        """Physical group containing tile ``(i, j)``."""
+        if not (0 <= i < self.p and 0 <= j < self.p):
+            raise FormatError(f"tile ({i},{j}) outside {self.p}x{self.p} grid")
+        return (i // self.q, j // self.q)
+
+    # ------------------------------------------------------------------ #
+    # Derived geometry
+    # ------------------------------------------------------------------ #
+
+    def position_grid(self) -> np.ndarray:
+        """``(p, p)`` int64 array mapping tile coords to disk position.
+
+        Unstored tiles (lower triangle of a symmetric graph) map to -1.
+        """
+        grid = np.full((self.p, self.p), -1, dtype=np.int64)
+        for pos, (i, j) in enumerate(self.disk_order()):
+            grid[i, j] = pos
+        return grid
+
+    def group_slices(self) -> "list[tuple[tuple[int, int], slice]]":
+        """Per-group contiguous ranges of disk positions.
+
+        Because disk order enumerates groups one after another, every group
+        occupies a contiguous run of positions — this is precisely what
+        makes a physical group a single sequential read.
+        """
+        out = []
+        pos = 0
+        for gi, gj in self.groups():
+            n = len(self.tiles_in_group(gi, gj))
+            out.append(((gi, gj), slice(pos, pos + n)))
+            pos += n
+        return out
+
+    def metadata_bytes_per_group(self, tile_bits: int, meta_bytes: int) -> int:
+        """Working-set size of one group's algorithmic metadata.
+
+        A group touches ``q * 2**tile_bits`` source vertices and the same
+        number of destinations; with ``meta_bytes`` per vertex this is the
+        quantity the paper sizes against the LLC (§V-A).
+        """
+        span = self.q * (1 << tile_bits)
+        return 2 * span * meta_bytes
+
+    def __repr__(self) -> str:
+        sym = "upper" if self.symmetric else "full"
+        return f"PhysicalGrouping(p={self.p}, q={self.q}, {sym}, g={self.g})"

@@ -1,0 +1,110 @@
+"""Plain 2-D partitioned edge list (paper Figure 1e, §II-A).
+
+This is the *traditional* representation that G-Store's tiles improve upon:
+edges bucketed by (source range, destination range) but stored as full
+global-ID tuples (8 bytes per edge below 2**32 vertices).  It backs the
+metadata-localisation observation (Figure 2b) and the GridGraph baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import FormatError
+from repro.format.edgelist import EdgeList
+from repro.types import VERTEX_DTYPE, vertex_bytes_needed
+from repro.util.bitops import ceil_div
+
+
+@dataclass
+class Partitioned2D:
+    """Edges sorted into a ``P x P`` grid of partitions, row-major on disk.
+
+    ``offsets`` has ``P*P + 1`` entries indexing into the concatenated
+    ``src``/``dst`` arrays; partition ``[i, j]`` occupies
+    ``[offsets[i * P + j], offsets[i * P + j + 1])``.
+    """
+
+    src: np.ndarray
+    dst: np.ndarray
+    offsets: np.ndarray
+    n_vertices: int
+    n_parts: int
+    directed: bool = True
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.offsets.shape[0] != self.n_parts * self.n_parts + 1:
+            raise FormatError(
+                f"offsets must have P*P+1={self.n_parts ** 2 + 1} entries"
+            )
+
+    @classmethod
+    def from_edge_list(cls, el: EdgeList, n_parts: int) -> "Partitioned2D":
+        """Bucket the edge list into an ``n_parts``-per-side grid.
+
+        The partition span is the smallest vertex range that covers
+        ``n_vertices`` in ``n_parts`` pieces; edges keep full global IDs.
+        """
+        if n_parts <= 0:
+            raise FormatError(f"n_parts must be positive, got {n_parts}")
+        span = ceil_div(el.n_vertices, n_parts)
+        pi = (el.src // np.uint32(span)).astype(np.int64)
+        pj = (el.dst // np.uint32(span)).astype(np.int64)
+        key = pi * n_parts + pj
+        order = np.argsort(key, kind="stable")
+        counts = np.bincount(key, minlength=n_parts * n_parts)
+        offsets = np.zeros(n_parts * n_parts + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        return cls(
+            src=el.src[order].astype(VERTEX_DTYPE),
+            dst=el.dst[order].astype(VERTEX_DTYPE),
+            offsets=offsets,
+            n_vertices=el.n_vertices,
+            n_parts=n_parts,
+            directed=el.directed,
+            name=el.name,
+        )
+
+    @property
+    def n_edges(self) -> int:
+        return int(self.src.shape[0])
+
+    @property
+    def span(self) -> int:
+        """Vertices per partition side."""
+        return ceil_div(self.n_vertices, self.n_parts)
+
+    def partition(self, i: int, j: int) -> tuple[np.ndarray, np.ndarray]:
+        """Views of the edges in partition ``[i, j]``."""
+        if not (0 <= i < self.n_parts and 0 <= j < self.n_parts):
+            raise FormatError(f"partition ({i},{j}) out of range")
+        k = i * self.n_parts + j
+        lo, hi = int(self.offsets[k]), int(self.offsets[k + 1])
+        return self.src[lo:hi], self.dst[lo:hi]
+
+    def partition_edge_counts(self) -> np.ndarray:
+        """``(P, P)`` array of per-partition edge counts."""
+        return np.diff(self.offsets).reshape(self.n_parts, self.n_parts)
+
+    def iter_partitions(self):
+        """Yield ``(i, j, src, dst)`` for non-empty partitions, row-major."""
+        for i in range(self.n_parts):
+            for j in range(self.n_parts):
+                s, d = self.partition(i, j)
+                if s.shape[0]:
+                    yield i, j, s, d
+
+    def storage_bytes(self, vertex_bytes: int | None = None) -> int:
+        """Full-tuple cost — what X-Stream/GridGraph-style systems pay."""
+        if vertex_bytes is None:
+            vertex_bytes = vertex_bytes_needed(self.n_vertices)
+        return 2 * vertex_bytes * self.n_edges
+
+    def __repr__(self) -> str:
+        return (
+            f"Partitioned2D(|V|={self.n_vertices}, |E|={self.n_edges}, "
+            f"P={self.n_parts})"
+        )

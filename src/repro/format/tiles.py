@@ -1,0 +1,426 @@
+"""The G-Store tile format (paper §IV): symmetry + SNB over a 2-D grid.
+
+A :class:`TiledGraph` partitions the adjacency matrix into tiles of
+``2**tile_bits`` vertices per side.  For an undirected graph only the upper
+triangle is stored (§IV-A); every edge tuple keeps only the in-tile local
+IDs (§IV-B).  All tiles live in one payload laid out in physical-group disk
+order (§V-A) and indexed by the start-edge array.
+
+Two ablation switches reproduce Figure 10's "Base / Symmetry /
+Symmetry+SNB" configurations:
+
+* ``symmetric=False`` stores both orientations of every undirected edge
+  (the traditional 2-D partitioned representation);
+* ``snb=False`` stores full-width global vertex IDs (8 bytes per tuple).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import FormatError
+from repro.format.edgelist import EdgeList
+from repro.format.grouping import PhysicalGrouping
+from repro.format.metadata import GraphInfo
+from repro.format.startedge import StartEdgeIndex
+from repro.types import (
+    DEFAULT_GROUP_Q,
+    DEFAULT_TILE_BITS,
+    VERTEX_DTYPE,
+    local_dtype,
+)
+from repro.util.bitops import ceil_div
+
+_PAYLOAD_FILE = "tiles.dat"
+_STARTEDGE_FILE = "start_edge.bin"
+_INFO_FILE = "info.json"
+_DEGREE_FILE = "degrees.npz"
+
+
+@dataclass
+class TileView:
+    """A decoded tile: local endpoint arrays plus the tile's grid position.
+
+    ``lsrc``/``ldst`` are the stored (SNB) local IDs; :meth:`global_edges`
+    re-attaches the tile's most-significant bits.  When the graph was built
+    with ``snb=False`` the "locals" are already global and the bases are 0.
+    """
+
+    i: int
+    j: int
+    lsrc: np.ndarray
+    ldst: np.ndarray
+    src_base: int
+    dst_base: int
+    pos: int
+
+    @property
+    def n_edges(self) -> int:
+        return int(self.lsrc.shape[0])
+
+    @property
+    def nbytes(self) -> int:
+        return self.lsrc.nbytes + self.ldst.nbytes
+
+    def global_edges(self) -> tuple[np.ndarray, np.ndarray]:
+        """Endpoint IDs in the global vertex space (uint32 arrays)."""
+        gsrc = self.lsrc.astype(VERTEX_DTYPE)
+        gdst = self.ldst.astype(VERTEX_DTYPE)
+        if self.src_base:
+            gsrc += VERTEX_DTYPE(self.src_base)
+        if self.dst_base:
+            gdst += VERTEX_DTYPE(self.dst_base)
+        return gsrc, gdst
+
+
+@dataclass
+class TiledGraph:
+    """A graph stored in the G-Store tile format.
+
+    The payload may be held in memory (``payload`` array) or left on disk
+    (``payload_path``); the engine fetches byte extents through the storage
+    substrate and decodes them with :meth:`view_from_bytes`.
+    """
+
+    info: GraphInfo
+    grouping: PhysicalGrouping
+    start_edge: StartEdgeIndex
+    tile_rows: np.ndarray  # disk-order row index i per tile
+    tile_cols: np.ndarray  # disk-order column index j per tile
+    out_degrees: np.ndarray
+    in_degrees: np.ndarray
+    payload: "np.ndarray | None" = None
+    payload_path: "str | None" = None
+    snb: bool = True
+    #: Optional per-edge float32 weights in disk-edge order; kept resident
+    #: (like algorithmic metadata) so weighted kernels can slice them by
+    #: tile position whether or not the payload itself is resident.
+    edge_weights: "np.ndarray | None" = None
+    _pos_grid: "np.ndarray | None" = field(default=None, repr=False)
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_edge_list(
+        cls,
+        el: EdgeList,
+        tile_bits: int = DEFAULT_TILE_BITS,
+        group_q: int = DEFAULT_GROUP_Q,
+        symmetric: "bool | None" = None,
+        snb: bool = True,
+        name: "str | None" = None,
+    ) -> "TiledGraph":
+        """Two-pass conversion from an edge list (§IV-B *Implementation*).
+
+        Pass 1 buckets edges by tile and builds the start-edge array;
+        pass 2 scatters SNB tuples to their disk positions.  For an
+        undirected input the default stores only the upper triangle
+        (``symmetric=True``); for a directed input the stored orientation
+        is the input's (out-edges), and symmetry does not apply.
+        """
+        name = name if name is not None else el.name
+        if el.directed:
+            if symmetric:
+                raise FormatError("symmetric storage applies to undirected graphs")
+            work = el
+            symmetric = False
+            n_input = el.n_edges
+            out_deg = el.out_degrees()
+            in_deg = el.in_degrees()
+        else:
+            canon = el.canonicalized()
+            if symmetric is None:
+                symmetric = True
+            work = canon if symmetric else canon.symmetrized()
+            n_input = 2 * canon.n_edges
+            # Undirected degree counts each endpoint of each unique edge.
+            out_deg = canon.degrees()
+            in_deg = out_deg
+
+        p = ceil_div(el.n_vertices, 1 << tile_bits)
+        grouping = PhysicalGrouping(p=p, q=group_q, symmetric=symmetric)
+        pos_grid = grouping.position_grid()
+
+        src = work.src
+        dst = work.dst
+        ti = (src >> np.uint32(tile_bits)).astype(np.int64)
+        tj = (dst >> np.uint32(tile_bits)).astype(np.int64)
+        pos = pos_grid[ti, tj]
+        if pos.size and int(pos.min()) < 0:
+            raise FormatError("edge mapped to an unstored tile (symmetry violation)")
+
+        counts = np.bincount(pos, minlength=grouping.n_tiles)
+        dt = local_dtype(tile_bits) if snb else np.dtype(VERTEX_DTYPE)
+        start_edge = StartEdgeIndex.from_counts(counts, tuple_bytes=2 * dt.itemsize)
+
+        order = np.argsort(pos, kind="stable")
+        edge_weights = None
+        if work.weights is not None:
+            edge_weights = work.weights[order]
+        mask = np.uint32((1 << tile_bits) - 1)
+        if snb:
+            lsrc = (src[order] & mask).astype(dt)
+            ldst = (dst[order] & mask).astype(dt)
+        else:
+            lsrc = src[order].astype(dt)
+            ldst = dst[order].astype(dt)
+        payload = np.empty(2 * work.n_edges, dtype=dt)
+        payload[0::2] = lsrc
+        payload[1::2] = ldst
+
+        order_arr = np.array(grouping.disk_order(), dtype=np.int64).reshape(-1, 2)
+        info = GraphInfo(
+            name=name,
+            n_vertices=el.n_vertices,
+            n_edges=work.n_edges,
+            n_input_edges=n_input,
+            directed=el.directed,
+            symmetric=symmetric,
+            tile_bits=tile_bits,
+            group_q=group_q,
+        )
+        return cls(
+            info=info,
+            grouping=grouping,
+            start_edge=start_edge,
+            tile_rows=order_arr[:, 0].copy(),
+            tile_cols=order_arr[:, 1].copy(),
+            out_degrees=out_deg,
+            in_degrees=in_deg,
+            payload=payload,
+            snb=snb,
+            edge_weights=edge_weights,
+            _pos_grid=pos_grid,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Geometry
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_vertices(self) -> int:
+        return self.info.n_vertices
+
+    @property
+    def n_edges(self) -> int:
+        """Stored SNB tuples (undirected edges counted once)."""
+        return self.start_edge.n_edges
+
+    @property
+    def n_tiles(self) -> int:
+        return self.grouping.n_tiles
+
+    @property
+    def tile_bits(self) -> int:
+        return self.info.tile_bits
+
+    @property
+    def tuple_bytes(self) -> int:
+        return self.start_edge.tuple_bytes
+
+    @property
+    def p(self) -> int:
+        return self.grouping.p
+
+    def pos_grid(self) -> np.ndarray:
+        if self._pos_grid is None:
+            self._pos_grid = self.grouping.position_grid()
+        return self._pos_grid
+
+    def position_of(self, i: int, j: int) -> int:
+        """Disk position of tile ``(i, j)``; -1 when unstored."""
+        return int(self.pos_grid()[i, j])
+
+    def row_range(self, i: int) -> tuple[int, int]:
+        """Global vertex range ``[lo, hi)`` covered by tile row/column ``i``."""
+        span = 1 << self.tile_bits
+        lo = i * span
+        return lo, min(lo + span, self.n_vertices)
+
+    def tile_edge_counts(self) -> np.ndarray:
+        """Per-tile edge counts in disk order (Figure 5)."""
+        return self.start_edge.edge_counts()
+
+    def group_edge_counts(self) -> "dict[tuple[int, int], int]":
+        """Per-physical-group edge counts (Figure 7)."""
+        counts = self.tile_edge_counts()
+        return {
+            grp: int(counts[sl].sum()) for grp, sl in self.grouping.group_slices()
+        }
+
+    # ------------------------------------------------------------------ #
+    # Tile access
+    # ------------------------------------------------------------------ #
+
+    def _bases(self, i: int, j: int) -> tuple[int, int]:
+        if self.snb:
+            return i << self.tile_bits, j << self.tile_bits
+        return 0, 0
+
+    def tile_view(self, pos: int) -> TileView:
+        """Decode the tile at disk position ``pos`` from the in-memory payload."""
+        if self.payload is None:
+            raise FormatError(
+                "payload not resident; fetch bytes through the storage layer "
+                "and use view_from_bytes()"
+            )
+        lo = int(self.start_edge.start_edge[pos])
+        hi = int(self.start_edge.start_edge[pos + 1])
+        chunk = self.payload[2 * lo : 2 * hi]
+        i = int(self.tile_rows[pos])
+        j = int(self.tile_cols[pos])
+        sb, db = self._bases(i, j)
+        return TileView(
+            i=i, j=j, lsrc=chunk[0::2], ldst=chunk[1::2],
+            src_base=sb, dst_base=db, pos=pos,
+        )
+
+    def view_from_bytes(self, pos: int, buf: "bytes | memoryview | np.ndarray") -> TileView:
+        """Decode a tile from raw bytes fetched off the storage substrate."""
+        dt = self.payload_dtype()
+        inter = (
+            np.frombuffer(buf, dtype=dt)
+            if isinstance(buf, (bytes, bytearray, memoryview))
+            else np.asarray(buf, dtype=dt)
+        )
+        expect = 2 * self.start_edge.edge_count(pos)
+        if inter.shape[0] != expect:
+            raise FormatError(
+                f"tile {pos}: expected {expect} local IDs, got {inter.shape[0]}"
+            )
+        i = int(self.tile_rows[pos])
+        j = int(self.tile_cols[pos])
+        sb, db = self._bases(i, j)
+        return TileView(
+            i=i, j=j, lsrc=inter[0::2], ldst=inter[1::2],
+            src_base=sb, dst_base=db, pos=pos,
+        )
+
+    def tile_weights(self, pos: int) -> "np.ndarray | None":
+        """Per-edge weights of the tile at disk position ``pos``.
+
+        Weights live in memory alongside the algorithmic metadata, so this
+        works in semi-external mode too; returns None for an unweighted
+        graph.
+        """
+        if self.edge_weights is None:
+            return None
+        lo = int(self.start_edge.start_edge[pos])
+        hi = int(self.start_edge.start_edge[pos + 1])
+        return self.edge_weights[lo:hi]
+
+    def payload_dtype(self) -> np.dtype:
+        return local_dtype(self.tile_bits) if self.snb else np.dtype(VERTEX_DTYPE)
+
+    def iter_tiles(self):
+        """Yield all tiles in disk order (requires resident payload)."""
+        for pos in range(self.n_tiles):
+            if self.start_edge.edge_count(pos):
+                yield self.tile_view(pos)
+
+    def to_edge_list(self) -> EdgeList:
+        """Reconstruct the stored tuples as a global-ID edge list."""
+        srcs, dsts = [], []
+        for tv in self.iter_tiles():
+            gsrc, gdst = tv.global_edges()
+            srcs.append(gsrc)
+            dsts.append(gdst)
+        if srcs:
+            src = np.concatenate(srcs)
+            dst = np.concatenate(dsts)
+        else:
+            src = np.empty(0, dtype=VERTEX_DTYPE)
+            dst = np.empty(0, dtype=VERTEX_DTYPE)
+        return EdgeList(
+            src,
+            dst,
+            self.n_vertices,
+            directed=self.info.directed,
+            name=self.info.name,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Size accounting
+    # ------------------------------------------------------------------ #
+
+    def storage_bytes(self) -> int:
+        """Bytes of the tile payload (the Table II "G-Store Size" column)."""
+        return self.n_edges * self.tuple_bytes
+
+    def total_disk_bytes(self) -> int:
+        """Payload plus the start-edge index file."""
+        return self.storage_bytes() + self.start_edge.storage_bytes()
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+
+    def save(self, directory: "str | os.PathLike") -> str:
+        """Write payload + start-edge + info + degrees into ``directory``."""
+        directory = os.fspath(directory)
+        os.makedirs(directory, exist_ok=True)
+        if self.payload is None:
+            raise FormatError("cannot save a TiledGraph without resident payload")
+        payload_path = os.path.join(directory, _PAYLOAD_FILE)
+        with open(payload_path, "wb") as fh:
+            fh.write(self.payload.tobytes())
+        self.start_edge.save(os.path.join(directory, _STARTEDGE_FILE))
+        self.info.save(os.path.join(directory, _INFO_FILE))
+        aux = dict(
+            out_degrees=self.out_degrees,
+            in_degrees=self.in_degrees,
+            snb=np.array([int(self.snb)]),
+        )
+        if self.edge_weights is not None:
+            aux["edge_weights"] = self.edge_weights
+        np.savez(os.path.join(directory, _DEGREE_FILE), **aux)
+        return directory
+
+    @classmethod
+    def load(
+        cls, directory: "str | os.PathLike", resident: bool = True
+    ) -> "TiledGraph":
+        """Load a saved graph; ``resident=False`` leaves the payload on disk
+        (semi-external mode: the engine streams it through the storage
+        substrate)."""
+        directory = os.fspath(directory)
+        info = GraphInfo.load(os.path.join(directory, _INFO_FILE))
+        start_edge = StartEdgeIndex.load(os.path.join(directory, _STARTEDGE_FILE))
+        with np.load(os.path.join(directory, _DEGREE_FILE)) as z:
+            out_deg = z["out_degrees"]
+            in_deg = z["in_degrees"]
+            snb = bool(int(z["snb"][0]))
+            edge_weights = z["edge_weights"] if "edge_weights" in z else None
+        grouping = PhysicalGrouping(p=info.p, q=info.group_q, symmetric=info.symmetric)
+        order_arr = np.array(grouping.disk_order(), dtype=np.int64).reshape(-1, 2)
+        payload_path = os.path.join(directory, _PAYLOAD_FILE)
+        payload = None
+        if resident:
+            dt = local_dtype(info.tile_bits) if snb else np.dtype(VERTEX_DTYPE)
+            with open(payload_path, "rb") as fh:
+                payload = np.frombuffer(fh.read(), dtype=dt).copy()
+        return cls(
+            info=info,
+            grouping=grouping,
+            start_edge=start_edge,
+            tile_rows=order_arr[:, 0].copy(),
+            tile_cols=order_arr[:, 1].copy(),
+            out_degrees=out_deg,
+            in_degrees=in_deg,
+            payload=payload,
+            payload_path=payload_path,
+            snb=snb,
+            edge_weights=edge_weights,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"TiledGraph({self.info.name!r}, |V|={self.n_vertices}, "
+            f"stored |E|={self.n_edges}, p={self.p}, tile_bits={self.tile_bits}, "
+            f"snb={self.snb}, symmetric={self.info.symmetric})"
+        )

@@ -1,0 +1,110 @@
+"""Structural validation of on-disk tile graphs.
+
+``check_tiled_graph`` audits every invariant the engine relies on: grid
+geometry, start-edge monotonicity, local IDs within tile bounds, payload
+size agreement, degree-array consistency, and (for symmetric graphs) the
+upper-triangle property.  It is the tool to run after a conversion or a
+file transfer — the tile-format equivalent of ``fsck``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.format.tiles import TiledGraph
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of a structural audit."""
+
+    ok: bool = True
+    errors: "list[str]" = field(default_factory=list)
+    tiles_checked: int = 0
+    edges_checked: int = 0
+
+    def fail(self, message: str) -> None:
+        self.ok = False
+        self.errors.append(message)
+
+    def __str__(self) -> str:
+        status = "OK" if self.ok else "CORRUPT"
+        lines = [
+            f"tile graph {status}: {self.tiles_checked} tiles, "
+            f"{self.edges_checked} edges checked"
+        ]
+        lines.extend(f"  error: {e}" for e in self.errors)
+        return "\n".join(lines)
+
+
+def check_tiled_graph(tg: TiledGraph, deep: bool = True) -> ValidationReport:
+    """Audit a tiled graph's structural invariants.
+
+    ``deep=True`` also walks every tile's payload (local-ID bounds and,
+    for symmetric storage, the in-diagonal-tile ordering); metadata-only
+    checks are cheap enough for every load.
+    """
+    rep = ValidationReport()
+    info = tg.info
+
+    # Geometry.
+    if tg.grouping.p != info.p:
+        rep.fail(f"grouping p={tg.grouping.p} != info p={info.p}")
+    if tg.start_edge.n_tiles != tg.grouping.n_tiles:
+        rep.fail(
+            f"start-edge tiles {tg.start_edge.n_tiles} != grid tiles "
+            f"{tg.grouping.n_tiles}"
+        )
+    if tg.tile_rows.shape[0] != tg.grouping.n_tiles:
+        rep.fail("tile_rows length mismatch")
+
+    # Edge totals.
+    if tg.start_edge.n_edges != info.n_edges:
+        rep.fail(
+            f"start-edge total {tg.start_edge.n_edges} != info n_edges "
+            f"{info.n_edges}"
+        )
+    if tg.payload is not None:
+        expect = 2 * info.n_edges
+        if tg.payload.shape[0] != expect:
+            rep.fail(
+                f"payload holds {tg.payload.shape[0]} local IDs, expected {expect}"
+            )
+
+    # Degrees.
+    if tg.out_degrees.shape[0] != info.n_vertices:
+        rep.fail("out_degrees length != n_vertices")
+    deg_sum = int(tg.out_degrees.astype(np.int64).sum())
+    # Symmetric storage keeps one tuple per undirected edge but degrees
+    # count both endpoints; every other layout stores one tuple per degree
+    # increment (directed out-edges, or undirected-both-directions).
+    expect_deg = 2 * info.n_edges if info.symmetric else info.n_edges
+    if deg_sum != expect_deg:
+        rep.fail(f"sum(degrees)={deg_sum} != expected {expect_deg}")
+
+    # Symmetric graphs must only store the upper triangle.
+    if info.symmetric:
+        lower = (tg.tile_cols < tg.tile_rows) & (tg.start_edge.edge_counts() > 0)
+        if lower.any():
+            rep.fail("non-empty lower-triangle tile in symmetric graph")
+
+    if deep and tg.payload is not None:
+        span = 1 << info.tile_bits
+        for tv in tg.iter_tiles():
+            rep.tiles_checked += 1
+            rep.edges_checked += tv.n_edges
+            gsrc, gdst = tv.global_edges()
+            if tv.n_edges:
+                if int(gsrc.max()) >= info.n_vertices or int(gdst.max()) >= info.n_vertices:
+                    rep.fail(f"tile ({tv.i},{tv.j}): endpoint beyond n_vertices")
+                if tg.snb and (
+                    int(tv.lsrc.max()) >= span or int(tv.ldst.max()) >= span
+                ):
+                    rep.fail(f"tile ({tv.i},{tv.j}): local ID beyond tile span")
+                if info.symmetric and tv.i == tv.j and np.any(gsrc > gdst):
+                    rep.fail(
+                        f"diagonal tile ({tv.i},{tv.j}): lower-triangle edge"
+                    )
+    return rep

@@ -1,0 +1,41 @@
+"""Synthetic graph generators and the scaled-down dataset registry.
+
+The paper evaluates on real social/web graphs (Twitter, Friendster,
+Subdomain) and synthetic Kronecker/R-MAT/uniform graphs up to a trillion
+edges.  The real datasets are unavailable offline, so heavy-tailed
+generators stand in for them (see DESIGN.md substitutions); the synthetic
+families are generated exactly as in Graph500, at scales that run locally.
+"""
+
+from repro.graphgen.io import read_text_edge_list, write_text_edge_list
+from repro.graphgen.kronecker import kronecker
+from repro.graphgen.lattice import grid2d, ring, road_network
+from repro.graphgen.powerlaw import powerlaw_directed, zipf_ranks
+from repro.graphgen.random_graph import uniform_random
+from repro.graphgen.rmat import rmat, rmat_edges
+from repro.graphgen.datasets import (
+    DatasetSpec,
+    dataset_names,
+    load_dataset,
+    paper_table2_rows,
+    scale_tier,
+)
+
+__all__ = [
+    "kronecker",
+    "ring",
+    "grid2d",
+    "road_network",
+    "read_text_edge_list",
+    "write_text_edge_list",
+    "rmat",
+    "rmat_edges",
+    "uniform_random",
+    "powerlaw_directed",
+    "zipf_ranks",
+    "DatasetSpec",
+    "load_dataset",
+    "dataset_names",
+    "paper_table2_rows",
+    "scale_tier",
+]

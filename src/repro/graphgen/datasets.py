@@ -1,0 +1,281 @@
+"""Named dataset registry: scaled-down stand-ins for the paper's graphs.
+
+Every graph in the paper's Table II has a local counterpart ~1000x smaller
+that preserves the property the experiments exploit (degree skew for the
+social graphs, the Kronecker/R-MAT/uniform families verbatim).  The
+``REPRO_SCALE`` environment variable selects a size tier:
+
+* ``tiny``  — seconds-long unit tests;
+* ``small`` — the default for benchmarks (minutes for the full suite);
+* ``large`` — the closest local approximation to the paper's runs.
+
+Per-dataset tile geometry (``tile_bits``, ``group_q``) scales with the
+vertex count so the tile grids stay interesting (thousands of tiles).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import DatasetError
+from repro.format.edgelist import EdgeList
+from repro.format.metadata import FormatSizes, format_sizes
+from repro.graphgen.kronecker import kronecker
+from repro.graphgen.powerlaw import powerlaw_directed
+from repro.graphgen.random_graph import uniform_random
+from repro.graphgen.rmat import rmat
+
+_TIERS = ("tiny", "small", "large")
+
+
+def scale_tier() -> str:
+    """Current size tier from ``REPRO_SCALE`` (default ``small``)."""
+    tier = os.environ.get("REPRO_SCALE", "small").lower()
+    if tier not in _TIERS:
+        raise DatasetError(
+            f"REPRO_SCALE must be one of {_TIERS}, got {tier!r}"
+        )
+    return tier
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """A registered dataset: generator plus recommended tile geometry."""
+
+    name: str
+    paper_counterpart: str
+    directed: bool
+    description: str
+    #: tier -> (generator kwargs); the factory closes over these.
+    factory: Callable[[str], EdgeList]
+    tile_bits: "dict[str, int]"
+    group_q: "dict[str, int]"
+
+    def load(self, tier: "str | None" = None) -> EdgeList:
+        tier = tier or scale_tier()
+        el = self.factory(tier)
+        el.name = self.name
+        return el
+
+    def geometry(self, tier: "str | None" = None) -> tuple[int, int]:
+        """Recommended ``(tile_bits, group_q)`` for this dataset/tier."""
+        tier = tier or scale_tier()
+        return self.tile_bits[tier], self.group_q[tier]
+
+
+def _twitter(tier: str) -> EdgeList:
+    shape = {
+        "tiny": (1 << 13, 60_000),
+        "small": (1 << 17, 2_000_000),
+        "large": (1 << 19, 16_000_000),
+    }[tier]
+    return powerlaw_directed(
+        shape[0], shape[1], s_in=1.50, s_out=1.15, seed=7, directed=True
+    )
+
+
+def _friendster(tier: str) -> EdgeList:
+    shape = {
+        "tiny": (1 << 13, 70_000),
+        "small": (1 << 17, 2_600_000),
+        "large": (1 << 19, 20_000_000),
+    }[tier]
+    # Friendster is a friendship network: milder skew, undirected,
+    # hubs scattered across the ID space.
+    return powerlaw_directed(
+        shape[0], shape[1], s_in=1.30, s_out=1.30, seed=11, directed=False,
+        cluster_dst=False,
+    )
+
+
+def _subdomain(tier: str) -> EdgeList:
+    shape = {
+        "tiny": (1 << 13, 50_000),
+        "small": (1 << 17, 2_000_000),
+        "large": (1 << 19, 16_000_000),
+    }[tier]
+    # Web hyperlink graph: R-MAT without permutation keeps the block
+    # locality web crawls exhibit.
+    scale = shape[0].bit_length() - 1
+    return rmat(
+        scale,
+        edge_factor=max(1, shape[1] // shape[0]),
+        a=0.50,
+        b=0.17,
+        c=0.17,
+        d=0.16,
+        seed=13,
+        directed=True,
+        permute=False,
+    )
+
+
+def _kron(scale_by_tier: "dict[str, int]", edge_factor: int):
+    def make(tier: str) -> EdgeList:
+        return kronecker(scale_by_tier[tier], edge_factor=edge_factor, seed=3)
+
+    return make
+
+
+def _rmat(scale_by_tier: "dict[str, int]", edge_factor: int):
+    def make(tier: str) -> EdgeList:
+        return rmat(scale_by_tier[tier], edge_factor=edge_factor, seed=5)
+
+    return make
+
+
+def _random(scale_by_tier: "dict[str, int]", edge_factor: int):
+    def make(tier: str) -> EdgeList:
+        return uniform_random(scale_by_tier[tier], edge_factor=edge_factor, seed=9)
+
+    return make
+
+
+_REGISTRY: "dict[str, DatasetSpec]" = {}
+
+
+def _register(spec: DatasetSpec) -> None:
+    _REGISTRY[spec.name] = spec
+
+
+_register(
+    DatasetSpec(
+        name="twitter-small",
+        paper_counterpart="Twitter (52.6M vertices, 1.96B edges)",
+        directed=True,
+        description="Directed heavy-tailed follower graph; extreme in-degree hubs.",
+        factory=_twitter,
+        tile_bits={"tiny": 8, "small": 11, "large": 12},
+        group_q={"tiny": 4, "small": 8, "large": 16},
+    )
+)
+_register(
+    DatasetSpec(
+        name="friendster-small",
+        paper_counterpart="Friendster (68.3M vertices, 2.59B edges)",
+        directed=False,
+        description="Undirected friendship network with moderate skew.",
+        factory=_friendster,
+        tile_bits={"tiny": 8, "small": 11, "large": 12},
+        group_q={"tiny": 4, "small": 8, "large": 16},
+    )
+)
+_register(
+    DatasetSpec(
+        name="subdomain-small",
+        paper_counterpart="Subdomain web graph (101.7M vertices, 2.04B edges)",
+        directed=True,
+        description="Web hyperlink graph with block locality (unpermuted R-MAT).",
+        factory=_subdomain,
+        tile_bits={"tiny": 8, "small": 11, "large": 12},
+        group_q={"tiny": 4, "small": 8, "large": 16},
+    )
+)
+_register(
+    DatasetSpec(
+        name="kron-small-16",
+        paper_counterpart="Kron-28-16 (2**28 vertices, 2**33 edge tuples)",
+        directed=False,
+        description="Graph500 Kronecker, edge factor 16.",
+        factory=_kron({"tiny": 12, "small": 17, "large": 20}, 16),
+        tile_bits={"tiny": 8, "small": 11, "large": 13},
+        group_q={"tiny": 4, "small": 8, "large": 16},
+    )
+)
+_register(
+    DatasetSpec(
+        name="kron-large-16",
+        paper_counterpart="Kron-30-16 / Kron-33-16 (up to 2**38 edge tuples)",
+        directed=False,
+        description="The biggest local Kronecker tier (Table III stand-in).",
+        factory=_kron({"tiny": 13, "small": 18, "large": 21}, 16),
+        tile_bits={"tiny": 8, "small": 12, "large": 13},
+        group_q={"tiny": 4, "small": 8, "large": 16},
+    )
+)
+_register(
+    DatasetSpec(
+        name="kron-trillion-256",
+        paper_counterpart="Kron-31-256 (2**31 vertices, 2**40 edge tuples)",
+        directed=False,
+        description="High edge-factor Kronecker (trillion-edge stand-in).",
+        factory=_kron({"tiny": 10, "small": 14, "large": 16}, 256),
+        tile_bits={"tiny": 8, "small": 10, "large": 12},
+        group_q={"tiny": 4, "small": 8, "large": 8},
+    )
+)
+_register(
+    DatasetSpec(
+        name="rmat-small-16",
+        paper_counterpart="Rmat-28-16 (2**28 vertices, 2**33 edge tuples)",
+        directed=False,
+        description="Classic R-MAT parameters (0.45/0.25/0.15/0.15).",
+        factory=_rmat({"tiny": 12, "small": 17, "large": 20}, 16),
+        tile_bits={"tiny": 8, "small": 11, "large": 13},
+        group_q={"tiny": 4, "small": 8, "large": 16},
+    )
+)
+_register(
+    DatasetSpec(
+        name="random-small-32",
+        paper_counterpart="Random-27-32 (2**27 vertices, 2**33 edge tuples)",
+        directed=False,
+        description="Uniform random endpoints, edge factor 32.",
+        factory=_random({"tiny": 11, "small": 16, "large": 19}, 32),
+        tile_bits={"tiny": 8, "small": 11, "large": 12},
+        group_q={"tiny": 4, "small": 8, "large": 16},
+    )
+)
+
+
+def dataset_names() -> "list[str]":
+    return sorted(_REGISTRY)
+
+
+def get_spec(name: str) -> DatasetSpec:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise DatasetError(
+            f"unknown dataset {name!r}; available: {dataset_names()}"
+        ) from None
+
+
+def load_dataset(name: str, tier: "str | None" = None) -> EdgeList:
+    """Generate a registered dataset at the current (or given) tier."""
+    return get_spec(name).load(tier)
+
+
+# ---------------------------------------------------------------------- #
+# Paper-scale analytic rows (Table II)
+# ---------------------------------------------------------------------- #
+
+#: (name, type, n_vertices, n_edge_tuples, directed) exactly as Table II
+#: lists them; edge counts are the paper's tuple counts (undirected edges
+#: counted twice for the synthetic graphs, once per direction stored for
+#: the real directed graphs).
+PAPER_GRAPHS: "list[tuple[str, str, int, int, bool]]" = [
+    ("Twitter", "(Un-)Directed", 52_579_682, 1_963_263_821, True),
+    ("Friendster", "(Un-)Directed", 68_349_466, 2_586_147_869, True),
+    ("Subdomain", "(Un-)Directed", 101_717_775, 2_043_203_933, True),
+    ("Rmat-28-16", "Undirected", 2**28, 2**33, False),
+    ("Random-27-32", "Undirected", 2**27, 2**33, False),
+    ("Kron-28-16", "Undirected", 2**28, 2**33, False),
+    ("Kron-30-16", "Undirected", 2**30, 2**35, False),
+    ("Kron-33-16", "Undirected", 2**33, 2**38, False),
+    ("Kron-31-256", "Undirected", 2**31, 2**40, False),
+]
+
+
+def paper_table2_rows() -> "list[tuple[str, FormatSizes]]":
+    """Analytic Table II: per-paper-graph sizes of the three formats."""
+    rows = []
+    for name, _kind, n_v, n_tuples, directed in PAPER_GRAPHS:
+        if directed:
+            sizes = format_sizes(n_v, n_directed_edges=n_tuples)
+        else:
+            sizes = format_sizes(n_v, n_undirected_edges=n_tuples // 2)
+        rows.append((name, sizes))
+    return rows

@@ -1,0 +1,42 @@
+"""Graph500 Kronecker generator (paper's Kron-&lt;scale&gt;-&lt;edgefactor&gt; graphs).
+
+Graph500's reference generator is a stochastic Kronecker graph identical in
+implementation to R-MAT with initiator probabilities A=0.57, B=0.19,
+C=0.19 (D=0.05) and a final vertex permutation.  The paper's headline
+graphs — Kron-28-16 through the trillion-edge Kron-31-256 — all come from
+this family.
+"""
+
+from __future__ import annotations
+
+from repro.format.edgelist import EdgeList
+from repro.graphgen.rmat import rmat
+
+#: Graph500 initiator matrix.
+GRAPH500_A = 0.57
+GRAPH500_B = 0.19
+GRAPH500_C = 0.19
+GRAPH500_D = 0.05
+
+
+def kronecker(
+    scale: int,
+    edge_factor: int = 16,
+    seed: int = 1,
+    directed: bool = False,
+    name: str = "",
+) -> EdgeList:
+    """A Graph500 Kronecker graph: ``2**scale`` vertices,
+    ``edge_factor * 2**scale`` generated edge tuples."""
+    return rmat(
+        scale,
+        edge_factor=edge_factor,
+        a=GRAPH500_A,
+        b=GRAPH500_B,
+        c=GRAPH500_C,
+        d=GRAPH500_D,
+        seed=seed,
+        directed=directed,
+        permute=True,
+        name=name or f"kron-{scale}-{edge_factor}",
+    )

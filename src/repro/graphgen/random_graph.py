@@ -1,0 +1,32 @@
+"""Uniform random graph generator (paper's Random-27-32 graph)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.format.edgelist import EdgeList
+from repro.types import VERTEX_DTYPE
+
+
+def uniform_random(
+    scale: int,
+    edge_factor: int = 32,
+    seed: int = 1,
+    directed: bool = False,
+    name: str = "",
+) -> EdgeList:
+    """Endpoints drawn independently and uniformly from ``2**scale`` vertices.
+
+    Matches the paper's naming: Random-27-32 is ``scale=27,
+    edge_factor=32``.
+    """
+    if scale <= 0 or scale > 31:
+        raise DatasetError(f"scale must be in (0, 31], got {scale}")
+    n_vertices = 1 << scale
+    n_edges = edge_factor * n_vertices
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, n_vertices, n_edges, dtype=np.int64).astype(VERTEX_DTYPE)
+    dst = rng.integers(0, n_vertices, n_edges, dtype=np.int64).astype(VERTEX_DTYPE)
+    label = name or f"random-{scale}-{edge_factor}"
+    return EdgeList(src, dst, n_vertices, directed=directed, name=label)

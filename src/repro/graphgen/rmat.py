@@ -1,0 +1,82 @@
+"""R-MAT recursive-matrix graph generator (Chakrabarti et al.).
+
+Vectorised over all edges: each of the ``scale`` recursion levels draws one
+uniform sample per edge and appends one bit to the source and destination
+IDs according to the quadrant probabilities ``(a, b, c, d)``.  This is the
+generator behind both the paper's Rmat-28-16 graph and (with Graph500's
+parameters) its Kronecker graphs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.format.edgelist import EdgeList
+from repro.types import VERTEX_DTYPE
+
+
+def rmat_edges(
+    scale: int,
+    n_edges: int,
+    a: float = 0.45,
+    b: float = 0.25,
+    c: float = 0.15,
+    d: float = 0.15,
+    seed: int = 1,
+    permute: bool = True,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Raw R-MAT endpoint arrays for ``2**scale`` vertices.
+
+    ``permute`` relabels vertices with a random permutation (as Graph500
+    does) so hubs spread across the ID space instead of clustering near
+    vertex 0 — important for realistic tile skew.
+    """
+    if scale <= 0 or scale > 31:
+        raise DatasetError(f"scale must be in (0, 31], got {scale}")
+    if n_edges < 0:
+        raise DatasetError(f"n_edges must be non-negative, got {n_edges}")
+    probs = (a, b, c, d)
+    if any(p < 0 for p in probs) or abs(sum(probs) - 1.0) > 1e-9:
+        raise DatasetError(f"quadrant probabilities must sum to 1, got {probs}")
+    rng = np.random.default_rng(seed)
+    src = np.zeros(n_edges, dtype=np.uint64)
+    dst = np.zeros(n_edges, dtype=np.uint64)
+    ab = a + b
+    abc = a + b + c
+    for _ in range(scale):
+        u = rng.random(n_edges)
+        src_bit = (u >= ab).astype(np.uint64)
+        dst_bit = (((u >= a) & (u < ab)) | (u >= abc)).astype(np.uint64)
+        src = (src << np.uint64(1)) | src_bit
+        dst = (dst << np.uint64(1)) | dst_bit
+    if permute:
+        perm = rng.permutation(1 << scale).astype(VERTEX_DTYPE)
+        return perm[src.astype(np.int64)], perm[dst.astype(np.int64)]
+    return src.astype(VERTEX_DTYPE), dst.astype(VERTEX_DTYPE)
+
+
+def rmat(
+    scale: int,
+    edge_factor: int = 16,
+    a: float = 0.45,
+    b: float = 0.25,
+    c: float = 0.15,
+    d: float = 0.15,
+    seed: int = 1,
+    directed: bool = False,
+    permute: bool = True,
+    name: str = "",
+) -> EdgeList:
+    """An R-MAT graph with ``edge_factor * 2**scale`` generated tuples.
+
+    Matches the paper's naming: ``Rmat-28-16`` is ``scale=28,
+    edge_factor=16`` (undirected).
+    """
+    n_vertices = 1 << scale
+    n_edges = edge_factor * n_vertices
+    src, dst = rmat_edges(
+        scale, n_edges, a=a, b=b, c=c, d=d, seed=seed, permute=permute
+    )
+    label = name or f"rmat-{scale}-{edge_factor}"
+    return EdgeList(src, dst, n_vertices, directed=directed, name=label)

@@ -1,0 +1,19 @@
+"""Memory management: segments, the cache pool, and proactive caching.
+
+Implements §VI of the paper: the streaming/caching split of main memory,
+copy-based segment management, the proactive caching rules, and the
+slide-cache-rewind bookkeeping used by the engine.
+"""
+
+from repro.memory.proactive import tiles_needed_for_rows
+from repro.memory.scr import CachePolicy, SCRScheduler
+from repro.memory.segments import CachePool, MemoryBudget, TileBuffer
+
+__all__ = [
+    "MemoryBudget",
+    "CachePool",
+    "TileBuffer",
+    "SCRScheduler",
+    "CachePolicy",
+    "tiles_needed_for_rows",
+]

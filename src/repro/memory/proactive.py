@@ -1,0 +1,74 @@
+"""Proactive caching rules (paper §VI-C).
+
+G-Store keeps a tile cached only when the algorithm's own metadata says it
+may be processed again next iteration.  The rules as stated in the paper:
+
+* **Undirected, Rule 1** — after row ``i`` finishes, the frontier status of
+  the vertex range ``i`` is final for this iteration (range-``i`` vertices
+  appear only in row ``i`` and column ``i``, all processed by then).
+* **Undirected, Rule 2** — tile ``[i, j]`` is needed next iteration when
+  range ``i`` *or* range ``j`` holds new frontiers; the range-``j`` half is
+  only partially known until row ``j`` completes, so decisions taken at
+  cache-analysis time may evict a tile that later turns out to be needed —
+  an accepted inaccuracy ("Even if some tiles are evicted because of
+  partial information…").
+* **Directed** — only out-edges are stored, so tile ``[i, j]`` is needed
+  when source range ``i`` may hold active vertices.
+
+Both rules reduce to one vectorised predicate over per-row activity, which
+also drives *selective fetching* within an iteration (§V-B): the same
+predicate evaluated on the current frontier says which tiles to read at all.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def tiles_needed_for_rows(
+    tile_rows: np.ndarray,
+    tile_cols: np.ndarray,
+    row_active: np.ndarray,
+    symmetric: bool,
+    col_active: "np.ndarray | None" = None,
+) -> np.ndarray:
+    """Boolean mask over disk positions: does the algorithm touch this tile?
+
+    Parameters
+    ----------
+    tile_rows, tile_cols:
+        Per-disk-position tile coordinates (from :class:`TiledGraph`).
+    row_active:
+        Boolean per tile-row: does the row's vertex range contain active
+        vertices (current frontier for selection, next frontier for caching)?
+    symmetric:
+        For upper-triangle storage a tile serves both directions, so it is
+        needed when either its row range or its column range is active.
+    col_active:
+        Optional separate per-column activity, used by algorithms that
+        traverse a directed graph's stored tuples *backwards* (dst -> src,
+        e.g. the backward sweep of FW-BW SCC): such algorithms need tiles
+        whose destination range holds frontier vertices.
+    """
+    row_active = np.asarray(row_active, dtype=bool)
+    need = row_active[tile_rows]
+    if symmetric:
+        need = need | row_active[tile_cols]
+    if col_active is not None:
+        need = need | np.asarray(col_active, dtype=bool)[tile_cols]
+    return need
+
+
+def row_activity_from_vertices(
+    active_mask: np.ndarray, n_rows: int, tile_bits: int
+) -> np.ndarray:
+    """Fold a per-vertex activity mask into per-tile-row activity.
+
+    This is the "algorithmic metadata" G-Store consults: a row is active
+    when any vertex in its ``2**tile_bits`` range is active.
+    """
+    active_mask = np.asarray(active_mask, dtype=bool)
+    idx = np.nonzero(active_mask)[0] >> tile_bits
+    out = np.zeros(n_rows, dtype=bool)
+    out[idx] = True
+    return out

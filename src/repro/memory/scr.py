@@ -1,0 +1,211 @@
+"""Slide-cache-rewind scheduling state (paper §VI, Figure 8).
+
+The :class:`SCRScheduler` owns the cache pool and answers the engine's
+per-iteration questions:
+
+* *rewind* — which of the tiles this iteration needs are already cached
+  (they are processed first, with no I/O);
+* *slide*  — how the remaining tiles chunk into segment-sized fetch
+  batches that the pipeline overlaps with compute;
+* *cache*  — after a batch is processed, which tiles enter the pool, and
+  when the pool fills, which get evicted by proactive analysis.
+
+``CachePolicy.BASE`` disables the pool and rewind entirely, reproducing the
+two-segment streaming baseline of Figure 13; ``CachePolicy.NONE`` is pure
+streaming with no reuse at all.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.format.startedge import StartEdgeIndex
+from repro.memory.proactive import tiles_needed_for_rows
+from repro.memory.segments import CachePool, MemoryBudget, TileBuffer
+
+
+class CachePolicy(enum.Enum):
+    SCR = "scr"  # slide + proactive cache + rewind
+    BASE = "base"  # two streaming segments only (Figure 13 baseline)
+    NONE = "none"  # alias of BASE kept for clarity in ablation sweeps
+
+
+@dataclass
+class SCRStats:
+    tiles_cached: int = 0
+    tiles_evicted: int = 0
+    cache_hits: int = 0
+    bytes_from_cache: int = 0
+    analyses: int = 0
+
+
+@dataclass
+class SCRScheduler:
+    """Cache-pool bookkeeping for one engine run."""
+
+    budget: MemoryBudget
+    policy: CachePolicy = CachePolicy.SCR
+    stats: SCRStats = field(default_factory=SCRStats)
+    pool: CachePool = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.pool is None:
+            cap = self.budget.pool_bytes if self.policy is CachePolicy.SCR else 0
+            self.pool = CachePool(capacity_bytes=cap)
+
+    # ------------------------------------------------------------------ #
+    # Rewind
+    # ------------------------------------------------------------------ #
+
+    def split_cached(
+        self, needed_positions: "list[int]", start_edge: StartEdgeIndex
+    ) -> "tuple[list[int], list[int]]":
+        """Partition this iteration's tiles into (cached, to-fetch).
+
+        Cached tiles are processed first — the *rewind* step that consumes
+        what the previous iteration left in memory before any new I/O.
+        """
+        if self.policy is not CachePolicy.SCR or len(self.pool) == 0:
+            return [], list(needed_positions)
+        cached, to_fetch = [], []
+        for pos in needed_positions:
+            if pos in self.pool:
+                cached.append(pos)
+                self.stats.cache_hits += 1
+                _, size = start_edge.byte_extent(pos)
+                self.stats.bytes_from_cache += size
+            else:
+                to_fetch.append(pos)
+        return cached, to_fetch
+
+    def cached_buffer(self, pos: int) -> TileBuffer:
+        buf = self.pool.get(pos)
+        if buf is None:
+            raise KeyError(f"tile {pos} not cached")
+        return buf
+
+    # ------------------------------------------------------------------ #
+    # Slide
+    # ------------------------------------------------------------------ #
+
+    def segment_batches(
+        self, positions: "list[int]", start_edge: StartEdgeIndex
+    ) -> "list[list[int]]":
+        """Chunk fetch positions into segment-sized batches (disk order).
+
+        Each batch is one AIO submission filling one streaming segment; a
+        tile larger than a whole segment still travels alone (tiles are the
+        indivisible I/O unit, §V-B: "we do not fetch, process or cache
+        partial data from any tile").
+        """
+        batches: "list[list[int]]" = []
+        cur: "list[int]" = []
+        cur_bytes = 0
+        cap = self.budget.segment_bytes
+        for pos in positions:
+            _, size = start_edge.byte_extent(pos)
+            if cur and cur_bytes + size > cap:
+                batches.append(cur)
+                cur = []
+                cur_bytes = 0
+            cur.append(pos)
+            cur_bytes += size
+        if cur:
+            batches.append(cur)
+        return batches
+
+    # ------------------------------------------------------------------ #
+    # Cache
+    # ------------------------------------------------------------------ #
+
+    def offer(
+        self,
+        buffers: "list[TileBuffer]",
+        tile_rows: np.ndarray,
+        tile_cols: np.ndarray,
+        row_active_next: np.ndarray,
+        symmetric: bool,
+        col_active_next: "np.ndarray | None" = None,
+    ) -> None:
+        """Offer processed tiles to the pool, analysing on pressure.
+
+        Tiles that proactive analysis already rules out are not cached at
+        all; when the pool is full, resident tiles are re-analysed with the
+        *current* (possibly partial) next-iteration metadata and the
+        unneeded ones evicted (§VI-C).
+        """
+        if self.policy is not CachePolicy.SCR:
+            return
+        keep_now = tiles_needed_for_rows(
+            tile_rows, tile_cols, row_active_next, symmetric,
+            col_active=col_active_next,
+        )
+        analysed = False
+        for buf in buffers:
+            if not keep_now[buf.pos]:
+                continue
+            if buf.pos in self.pool:
+                continue  # re-offered rewind tile, already resident
+            if self.pool.add(buf):
+                self.stats.tiles_cached += 1
+                continue
+            # Pool full: run proactive analysis over residents, then
+            # retry.  One analysis per offered batch — the metadata does
+            # not change between tiles of the same batch, so re-running
+            # it per tile would only burn CPU (profiling showed exactly
+            # this hotspot).
+            if not analysed:
+                self._analyse(
+                    tile_rows, tile_cols, row_active_next, symmetric,
+                    col_active_next,
+                )
+                analysed = True
+                if self.pool.add(buf):
+                    self.stats.tiles_cached += 1
+            # else: even after analysis there is no room — drop the tile
+            # (it will be re-fetched next iteration if needed).
+
+    def _analyse(
+        self,
+        tile_rows: np.ndarray,
+        tile_cols: np.ndarray,
+        row_active_next: np.ndarray,
+        symmetric: bool,
+        col_active_next: "np.ndarray | None" = None,
+    ) -> int:
+        """Evict resident tiles the metadata says are not needed next."""
+        self.stats.analyses += 1
+        residents = self.pool.positions()
+        if not residents:
+            return 0
+        res = np.asarray(residents, dtype=np.int64)
+        keep = tiles_needed_for_rows(
+            tile_rows[res], tile_cols[res], row_active_next, symmetric,
+            col_active=col_active_next,
+        )
+        victims = res[~keep].tolist()
+        self.pool.evict(victims)
+        self.stats.tiles_evicted += len(victims)
+        return len(victims)
+
+    def end_iteration(
+        self,
+        tile_rows: np.ndarray,
+        tile_cols: np.ndarray,
+        row_active_next: np.ndarray,
+        symmetric: bool,
+        col_active_next: "np.ndarray | None" = None,
+    ) -> None:
+        """Final analysis with complete next-iteration knowledge.
+
+        At iteration end the frontier for the next iteration is fully
+        known, so stale residents can be dropped eagerly before the rewind.
+        """
+        if self.policy is CachePolicy.SCR:
+            self._analyse(
+                tile_rows, tile_cols, row_active_next, symmetric,
+                col_active_next,
+            )

@@ -1,0 +1,115 @@
+"""Segments and the cache pool (paper §VI-A, copy-based memory management).
+
+G-Store splits the streaming/caching memory into two fixed-size *segments*
+(one loading from disk while the other is processed) plus a *cache pool*
+holding tiles that proactive analysis predicts will be needed again.  The
+pool here stores real tile payload bytes and enforces the byte budget the
+way G-Store's memcpy-compacted pool does — without page-management
+overhead or fragmentation, since tiles are stored exactly sized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import MemoryBudgetError
+
+
+@dataclass(frozen=True)
+class MemoryBudget:
+    """The streaming/caching memory split.
+
+    ``total_bytes`` is the memory reserved for graph data (the paper's
+    8 GB / 4 GB figure); two ``segment_bytes`` segments are carved out for
+    the I/O/processing double buffer and the rest is the cache pool.
+    """
+
+    total_bytes: int
+    segment_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.segment_bytes <= 0:
+            raise MemoryBudgetError("segment size must be positive")
+        if self.total_bytes < 2 * self.segment_bytes:
+            raise MemoryBudgetError(
+                f"budget {self.total_bytes} too small for two "
+                f"{self.segment_bytes}-byte segments"
+            )
+
+    @property
+    def pool_bytes(self) -> int:
+        """Capacity left for the cache pool after the two segments."""
+        return self.total_bytes - 2 * self.segment_bytes
+
+
+@dataclass
+class TileBuffer:
+    """A cached tile: its disk position, grid coords, and payload bytes."""
+
+    pos: int
+    i: int
+    j: int
+    data: bytes
+
+    @property
+    def nbytes(self) -> int:
+        return len(self.data)
+
+
+@dataclass
+class CachePool:
+    """Byte-budgeted pool of cached tiles with O(1) membership.
+
+    ``add`` refuses (returns False) when the tile would overflow the
+    budget; the SCR scheduler then runs proactive analysis to reclaim
+    space before retrying (§VI-C: "the cache analysis happens only when
+    the cache pool is full").
+    """
+
+    capacity_bytes: int
+    _tiles: "dict[int, TileBuffer]" = field(default_factory=dict)
+    _used: int = 0
+
+    def __contains__(self, pos: int) -> bool:
+        return pos in self._tiles
+
+    def __len__(self) -> int:
+        return len(self._tiles)
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self._used
+
+    def get(self, pos: int) -> "TileBuffer | None":
+        return self._tiles.get(pos)
+
+    def positions(self) -> "list[int]":
+        return list(self._tiles.keys())
+
+    def add(self, buf: TileBuffer) -> bool:
+        """Insert a tile; returns False when it does not fit."""
+        if buf.pos in self._tiles:
+            return True
+        if buf.nbytes > self.free_bytes:
+            return False
+        self._tiles[buf.pos] = buf
+        self._used += buf.nbytes
+        return True
+
+    def evict(self, positions: "list[int]") -> int:
+        """Remove tiles; returns bytes reclaimed."""
+        freed = 0
+        for pos in positions:
+            buf = self._tiles.pop(pos, None)
+            if buf is not None:
+                freed += buf.nbytes
+        self._used -= freed
+        return freed
+
+    def clear(self) -> None:
+        self._tiles.clear()
+        self._used = 0

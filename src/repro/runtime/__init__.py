@@ -1,0 +1,14 @@
+"""Execution runtime: compute cost model, pipelined timeline, row scheduler."""
+
+from repro.runtime.calibrate import CalibrationResult, calibrate_cost_model
+from repro.runtime.cost import CostModel
+from repro.runtime.pipeline import PipelineTimeline
+from repro.runtime.threads import dynamic_row_map
+
+__all__ = [
+    "CostModel",
+    "PipelineTimeline",
+    "dynamic_row_map",
+    "calibrate_cost_model",
+    "CalibrationResult",
+]

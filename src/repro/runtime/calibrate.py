@@ -1,0 +1,74 @@
+"""Measure this machine's kernel throughput and calibrate the cost model.
+
+The guides' first rule — *no optimisation without measuring* — applies to
+the simulated timeline too: the :class:`~repro.runtime.cost.CostModel`
+ships with rates representing the paper's 56-thread Xeon, but anyone can
+re-anchor the model to *measured* Python kernel rates with
+:func:`calibrate_cost_model` and obtain a timeline whose compute side is
+this machine's reality instead.
+
+Calibration runs the actual per-tile kernels (BFS and PageRank) over a
+synthetic graph and divides edges processed by wall seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.format.tiles import TiledGraph
+from repro.graphgen.rmat import rmat
+from repro.runtime.cost import DEFAULT_EDGE_RATES, CostModel
+from repro.util.timer import WallTimer
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Measured kernel rates (edges/second of wall time)."""
+
+    bfs_rate: float
+    pagerank_rate: float
+    graph_edges: int
+
+    def cost_model(self) -> CostModel:
+        """A cost model anchored to the measured rates.
+
+        Rates for algorithms that were not measured scale by the measured
+        PageRank ratio (they share the gather/scatter structure).
+        """
+        ratio = self.pagerank_rate / DEFAULT_EDGE_RATES["pagerank"]
+        rates = {k: v * ratio for k, v in DEFAULT_EDGE_RATES.items()}
+        rates["bfs"] = self.bfs_rate
+        rates["pagerank"] = self.pagerank_rate
+        return CostModel(edge_rates=rates)
+
+
+def calibrate_cost_model(
+    scale: int = 14, edge_factor: int = 8, repeats: int = 3, seed: int = 99
+) -> CalibrationResult:
+    """Measure BFS and PageRank tile-kernel throughput on this machine."""
+    from repro.algorithms.bfs import BFS
+    from repro.algorithms.pagerank import PageRank
+
+    el = rmat(scale, edge_factor=edge_factor, seed=seed)
+    tg = TiledGraph.from_edge_list(el, tile_bits=max(6, scale - 5), group_q=4)
+    tiles = [tv for tv in tg.iter_tiles()]
+
+    def measure(make_algo) -> float:
+        best = 0.0
+        for _ in range(repeats):
+            algo = make_algo()
+            algo.setup(tg)
+            algo.begin_iteration(0)
+            edges = 0
+            with WallTimer() as t:
+                for tv in tiles:
+                    edges += algo.process_tile(tv)
+            rate = edges * algo.direction_passes / max(t.elapsed, 1e-9)
+            best = max(best, rate)
+        return best
+
+    bfs_rate = measure(lambda: BFS(root=0))
+    pr_rate = measure(lambda: PageRank())
+    return CalibrationResult(
+        bfs_rate=bfs_rate, pagerank_rate=pr_rate, graph_edges=tg.n_edges
+    )

@@ -1,0 +1,104 @@
+"""Asynchronous I/O context over the simulated array (paper §V-B).
+
+Mirrors the libaio shape G-Store uses: many reads are batched into a single
+``io_submit``-equivalent call, then completions are polled.  The context
+charges service time to the shared :class:`~repro.util.timer.SimClock` and
+returns the *real* bytes from the backing :class:`TileStore` file.
+
+``IOMode.SYNC`` models the direct/synchronous POSIX alternative the paper
+compares against (per-request latency, no overlap).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import StorageError
+from repro.storage.file import TileStore
+from repro.storage.raid import Raid0Array
+from repro.util.timer import SimClock
+
+
+class IOMode(enum.Enum):
+    """How requests of one batch are issued to the device."""
+
+    AIO = "aio"  # one batched submission, overlapped up to queue depth
+    SYNC = "sync"  # one blocking pread per request
+
+
+@dataclass(frozen=True)
+class IORequest:
+    """A logical read: byte extent within the data file, with a user tag."""
+
+    offset: int
+    size: int
+    tag: object = None
+
+
+@dataclass
+class IOEvent:
+    """A completed request: the tag it carried and its payload bytes."""
+
+    tag: object
+    data: bytes
+
+
+@dataclass
+class AIOStats:
+    submissions: int = 0
+    requests: int = 0
+    bytes_read: int = 0
+    io_time: float = 0.0
+
+
+@dataclass
+class AIOContext:
+    """Batched read interface binding a store, an array, and a clock."""
+
+    store: TileStore
+    array: Raid0Array
+    clock: SimClock
+    mode: IOMode = IOMode.AIO
+    stats: AIOStats = field(default_factory=AIOStats)
+    _pending: "list[IOEvent]" = field(default_factory=list)
+    _pending_time: float = 0.0
+
+    def submit(self, requests: "list[IORequest]") -> int:
+        """Submit a batch; returns the number of queued requests.
+
+        Like ``io_submit``, this only queues work: time is charged when the
+        batch is reaped by :meth:`poll`.
+        """
+        if self._pending:
+            raise StorageError("previous batch not yet reaped; call poll() first")
+        if not requests:
+            return 0
+        extents = [(r.offset, r.size) for r in requests]
+        if self.mode is IOMode.AIO:
+            t = self.array.read_batch_time(extents)
+        else:
+            t = self.array.read_sync_time(extents)
+        self._pending_time = t
+        for r in requests:
+            self._pending.append(IOEvent(tag=r.tag, data=self.store.read(r.offset, r.size)))
+        self.stats.submissions += 1
+        self.stats.requests += len(requests)
+        self.stats.bytes_read += sum(r.size for r in requests)
+        return len(requests)
+
+    def poll(self) -> "tuple[list[IOEvent], float]":
+        """Reap all completions; advances the clock and returns
+        ``(events, service_time)``."""
+        events = self._pending
+        t = self._pending_time
+        self._pending = []
+        self._pending_time = 0.0
+        self.clock.advance(t)
+        self.stats.io_time += t
+        return events, t
+
+    def read_batch(self, requests: "list[IORequest]") -> "tuple[list[IOEvent], float]":
+        """Convenience: submit + poll in one call."""
+        self.submit(requests)
+        return self.poll()

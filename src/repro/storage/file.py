@@ -1,0 +1,73 @@
+"""Byte-level access to the single tile data file (paper §IV-B: "We store
+all the tiles in a single file").
+
+``TileStore`` serves extent reads either from a real file on disk or from
+an in-memory buffer (useful in tests and when a benchmark has already built
+the graph in memory).  It returns real bytes; timing is the AIO context's
+job.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.errors import StorageError
+
+
+class TileStore:
+    """Random-access reads over the tile payload."""
+
+    def __init__(self, path: "str | None" = None, data: "bytes | np.ndarray | None" = None):
+        if (path is None) == (data is None):
+            raise StorageError("pass exactly one of path / data")
+        self._path = os.fspath(path) if path is not None else None
+        self._fh = None
+        if data is not None:
+            buf = data.tobytes() if isinstance(data, np.ndarray) else bytes(data)
+            self._data: "bytes | None" = buf
+            self._size = len(buf)
+        else:
+            self._data = None
+            self._size = os.path.getsize(self._path)
+
+    @classmethod
+    def from_tiled_graph(cls, tg) -> "TileStore":
+        """Build a store over a :class:`TiledGraph`'s payload (memory or disk)."""
+        if tg.payload is not None:
+            return cls(data=tg.payload)
+        if tg.payload_path is not None:
+            return cls(path=tg.payload_path)
+        raise StorageError("TiledGraph has neither resident payload nor a path")
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    def read(self, offset: int, size: int) -> bytes:
+        """pread-style extent read."""
+        if offset < 0 or size < 0 or offset + size > self._size:
+            raise StorageError(
+                f"extent ({offset}, {size}) outside store of {self._size} bytes"
+            )
+        if self._data is not None:
+            return self._data[offset : offset + size]
+        if self._fh is None:
+            self._fh = open(self._path, "rb")
+        self._fh.seek(offset)
+        out = self._fh.read(size)
+        if len(out) != size:
+            raise StorageError(f"short read at {offset} (+{size})")
+        return out
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "TileStore":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

@@ -1,0 +1,18 @@
+"""Shared utilities: bit math, clocks, human-readable formatting, validation."""
+
+from repro.util.bitops import bits_for, ceil_div, is_pow2, next_pow2, split_vertex_ids
+from repro.util.humanize import fmt_bytes, fmt_count, fmt_time
+from repro.util.timer import SimClock, WallTimer
+
+__all__ = [
+    "bits_for",
+    "ceil_div",
+    "is_pow2",
+    "next_pow2",
+    "split_vertex_ids",
+    "fmt_bytes",
+    "fmt_count",
+    "fmt_time",
+    "SimClock",
+    "WallTimer",
+]

@@ -1,0 +1,66 @@
+"""Bit-level helpers underpinning the SNB (smallest number of bits) format.
+
+The SNB idea (paper §IV-B): inside tile ``[i, j]`` every source vertex shares
+the most-significant bits ``i`` and every destination shares ``j``, so those
+bits need not be stored per edge.  These helpers split global vertex IDs into
+(tile index, local offset) pairs and size the representations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def is_pow2(x: int) -> bool:
+    """Return True when ``x`` is a positive power of two."""
+    return x > 0 and (x & (x - 1)) == 0
+
+
+def next_pow2(x: int) -> int:
+    """Smallest power of two >= ``x`` (with ``next_pow2(0) == 1``)."""
+    if x <= 1:
+        return 1
+    return 1 << (int(x - 1).bit_length())
+
+
+def bits_for(n: int) -> int:
+    """Smallest number of bits able to represent all values in ``[0, n)``.
+
+    This is the "smallest number of bits" of the paper applied to a value
+    range: ``bits_for(8) == 3`` (IDs 0..7 need three bits).
+    """
+    if n <= 0:
+        raise ValueError(f"range size must be positive, got {n}")
+    if n == 1:
+        return 1
+    return int(n - 1).bit_length()
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Integer ceiling division."""
+    if b <= 0:
+        raise ValueError(f"divisor must be positive, got {b}")
+    return -(-a // b)
+
+
+def split_vertex_ids(ids: np.ndarray, tile_bits: int) -> tuple[np.ndarray, np.ndarray]:
+    """Split global vertex IDs into (tile index, local offset) arrays.
+
+    The tile index carries the redundant most-significant bits that the SNB
+    format factors out; the local offset is what tiles store per edge.
+    """
+    ids = np.asarray(ids)
+    mask = (1 << tile_bits) - 1
+    tile = ids >> tile_bits
+    local = ids & mask
+    return tile, local
+
+
+def join_vertex_ids(tile: np.ndarray, local: np.ndarray, tile_bits: int) -> np.ndarray:
+    """Inverse of :func:`split_vertex_ids`: rebuild global IDs.
+
+    Paper §IV-B: "concatenating the tile ID to the vertex ID".
+    """
+    return (np.asarray(tile, dtype=np.uint64) << tile_bits) | np.asarray(
+        local, dtype=np.uint64
+    )

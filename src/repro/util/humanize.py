@@ -1,0 +1,44 @@
+"""Human-readable formatting of byte counts, durations, and cardinalities."""
+
+from __future__ import annotations
+
+_BYTE_UNITS = ["B", "KB", "MB", "GB", "TB", "PB"]
+_COUNT_UNITS = ["", "K", "M", "B", "T"]
+
+
+def fmt_bytes(n: float) -> str:
+    """Format a byte count with a binary-ish unit, e.g. ``fmt_bytes(7.3e9)``."""
+    n = float(n)
+    for unit in _BYTE_UNITS:
+        if abs(n) < 1024.0 or unit == _BYTE_UNITS[-1]:
+            if unit == "B":
+                return f"{n:.0f}{unit}"
+            return f"{n:.2f}{unit}"
+        n /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def fmt_time(seconds: float) -> str:
+    """Format a duration, switching units below a second and above a minute."""
+    if seconds < 0:
+        return "-" + fmt_time(-seconds)
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    if seconds < 120.0:
+        return f"{seconds:.2f}s"
+    minutes, rem = divmod(seconds, 60.0)
+    return f"{int(minutes)}m{rem:.0f}s"
+
+
+def fmt_count(n: float) -> str:
+    """Format a cardinality with K/M/B/T suffixes (decimal)."""
+    n = float(n)
+    for unit in _COUNT_UNITS:
+        if abs(n) < 1000.0 or unit == _COUNT_UNITS[-1]:
+            if unit == "":
+                return f"{n:.0f}"
+            return f"{n:.2f}{unit}"
+        n /= 1000.0
+    raise AssertionError("unreachable")

@@ -1,0 +1,50 @@
+"""Clocks: a simulated clock for the storage substrate and a wall timer.
+
+The reproduction runs real NumPy kernels over real tile bytes but accounts
+I/O time on a *simulated* clock (see DESIGN.md, substitution table).  The
+``SimClock`` is the single source of simulated truth shared by devices, the
+AIO context, and the pipeline timeline.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class SimClock:
+    """A monotonically advancing simulated clock (seconds as float)."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, dt: float) -> float:
+        """Advance by ``dt`` seconds and return the new time."""
+        if dt < 0:
+            raise ValueError(f"cannot advance a clock backwards (dt={dt})")
+        self._now += dt
+        return self._now
+
+    def reset(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimClock(now={self._now:.6f})"
+
+
+class WallTimer:
+    """Context manager measuring wall-clock time via ``perf_counter``."""
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._t0 = 0.0
+
+    def __enter__(self) -> "WallTimer":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.elapsed = time.perf_counter() - self._t0

@@ -1,0 +1,71 @@
+"""Unit tests for the AIO context (submit/poll semantics, §V-B)."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.aio import AIOContext, IOMode, IORequest
+from repro.storage.device import DeviceProfile
+from repro.storage.file import TileStore
+from repro.storage.raid import Raid0Array
+from repro.util.timer import SimClock
+
+
+def _ctx(data=b"0123456789abcdef", mode=IOMode.AIO):
+    store = TileStore(data=data)
+    array = Raid0Array(n_devices=1, profile=DeviceProfile(latency=1e-4))
+    clock = SimClock()
+    return AIOContext(store=store, array=array, clock=clock, mode=mode), clock
+
+
+class TestSubmitPoll:
+    def test_data_returned(self):
+        ctx, _ = _ctx()
+        ctx.submit([IORequest(0, 4, tag="a"), IORequest(8, 4, tag="b")])
+        events, t = ctx.poll()
+        assert t > 0
+        assert {e.tag: e.data for e in events} == {"a": b"0123", "b": b"89ab"}
+
+    def test_clock_advances_on_poll(self):
+        ctx, clock = _ctx()
+        ctx.submit([IORequest(0, 8)])
+        assert clock.now == 0.0
+        _, t = ctx.poll()
+        assert clock.now == pytest.approx(t)
+
+    def test_double_submit_rejected(self):
+        ctx, _ = _ctx()
+        ctx.submit([IORequest(0, 1)])
+        with pytest.raises(StorageError):
+            ctx.submit([IORequest(0, 1)])
+
+    def test_empty_submit(self):
+        ctx, _ = _ctx()
+        assert ctx.submit([]) == 0
+        events, t = ctx.poll()
+        assert events == [] and t == 0.0
+
+    def test_read_batch_convenience(self):
+        ctx, _ = _ctx()
+        events, t = ctx.read_batch([IORequest(4, 4, tag=1)])
+        assert events[0].data == b"4567"
+
+
+class TestModes:
+    def test_sync_slower_than_aio(self):
+        reqs = [IORequest(i, 1) for i in range(8)]
+        aio_ctx, _ = _ctx(mode=IOMode.AIO)
+        sync_ctx, _ = _ctx(mode=IOMode.SYNC)
+        _, t_aio = aio_ctx.read_batch(reqs)
+        _, t_sync = sync_ctx.read_batch(list(reqs))
+        assert t_sync > t_aio
+
+
+class TestStats:
+    def test_counters(self):
+        ctx, _ = _ctx()
+        ctx.read_batch([IORequest(0, 4), IORequest(4, 4)])
+        ctx.read_batch([IORequest(8, 2)])
+        assert ctx.stats.submissions == 2
+        assert ctx.stats.requests == 3
+        assert ctx.stats.bytes_read == 10
+        assert ctx.stats.io_time > 0

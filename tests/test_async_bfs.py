@@ -1,0 +1,73 @@
+"""Asynchronous BFS: same fixpoint as level-synchronous, fewer sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.async_bfs import AsyncBFS
+from repro.algorithms.bfs import BFS
+from repro.engine.config import EngineConfig
+from repro.engine.gstore import GStoreEngine
+from repro.errors import AlgorithmError
+from repro.format.edgelist import EdgeList
+from repro.format.tiles import TiledGraph
+
+
+def _run(tg, algo):
+    stats = GStoreEngine(
+        tg, EngineConfig(memory_bytes=64 * 1024, segment_bytes=8 * 1024)
+    ).run(algo)
+    return algo, stats
+
+
+class TestEquivalence:
+    def test_same_depths_undirected(self, tiled_undirected):
+        sync, _ = _run(tiled_undirected, BFS(root=0))
+        asyn, _ = _run(tiled_undirected, AsyncBFS(root=0))
+        assert np.array_equal(sync.result(), asyn.result())
+
+    def test_same_depths_directed(self, tiled_directed, small_directed):
+        root = int(small_directed.src[0])
+        sync, _ = _run(tiled_directed, BFS(root=root))
+        asyn, _ = _run(tiled_directed, AsyncBFS(root=root))
+        assert np.array_equal(sync.result(), asyn.result())
+
+    def test_visited_counts_match(self, tiled_undirected):
+        sync, _ = _run(tiled_undirected, BFS(root=3))
+        asyn, _ = _run(tiled_undirected, AsyncBFS(root=3))
+        assert sync.visited_count() == asyn.visited_count()
+
+
+class TestFewerIterations:
+    def test_long_path_collapses(self):
+        # A forward-ordered path: async BFS finishes the whole traversal
+        # in very few sweeps because relaxations cascade within a sweep;
+        # level-synchronous needs one sweep per hop.
+        n = 128
+        el = EdgeList.from_pairs(
+            [(i, i + 1) for i in range(n - 1)], n_vertices=n, directed=True
+        )
+        tg = TiledGraph.from_edge_list(el, tile_bits=4, group_q=2)
+        _, sync_stats = _run(tg, BFS(root=0))
+        _, async_stats = _run(tg, AsyncBFS(root=0))
+        assert sync_stats.n_iterations >= n - 1
+        assert async_stats.n_iterations < n / 8
+
+    def test_never_more_iterations(self, tiled_undirected):
+        _, sync_stats = _run(tiled_undirected, BFS(root=0))
+        _, async_stats = _run(tiled_undirected, AsyncBFS(root=0))
+        assert async_stats.n_iterations <= sync_stats.n_iterations
+
+
+class TestMechanics:
+    def test_bad_root(self, tiled_undirected):
+        with pytest.raises(AlgorithmError):
+            AsyncBFS(root=10**9).setup(tiled_undirected)
+
+    def test_result_dtype_uint32(self, tiled_undirected):
+        algo, _ = _run(tiled_undirected, AsyncBFS(root=0))
+        assert algo.result().dtype == np.uint32
+
+    def test_selective_rows(self, tiled_undirected):
+        algo = AsyncBFS(root=0)
+        algo.setup(tiled_undirected)
+        assert algo.rows_active().sum() == 1

@@ -1,0 +1,73 @@
+"""Unit tests for the benchmark harness (graph cache, scaled configs)."""
+
+import pytest
+
+from repro.bench.harness import (
+    GraphCache,
+    graphs,
+    scaled_baseline_config,
+    scaled_config,
+)
+from repro.memory.scr import CachePolicy
+
+
+class TestGraphCache:
+    def test_edge_list_memoised(self):
+        c = GraphCache()
+        a = c.edge_list("kron-small-16", tier="tiny")
+        b = c.edge_list("kron-small-16", tier="tiny")
+        assert a is b
+
+    def test_tiled_memoised_by_flags(self):
+        c = GraphCache()
+        a = c.tiled("kron-small-16", tier="tiny")
+        b = c.tiled("kron-small-16", tier="tiny")
+        d = c.tiled("kron-small-16", tier="tiny", snb=False)
+        assert a is b
+        assert a is not d
+
+    def test_directed_override(self):
+        c = GraphCache()
+        und = c.tiled("twitter-small", tier="tiny", directed_override=False)
+        dire = c.tiled("twitter-small", tier="tiny", directed_override=True)
+        assert und.info.symmetric
+        assert not dire.info.symmetric
+
+    def test_clear(self):
+        c = GraphCache()
+        a = c.edge_list("kron-small-16", tier="tiny")
+        c.clear()
+        assert c.edge_list("kron-small-16", tier="tiny") is not a
+
+    def test_global_cache_singleton(self):
+        assert graphs() is graphs()
+
+
+class TestScaledConfigs:
+    def test_semi_external_regime(self):
+        c = GraphCache()
+        tg = c.tiled("kron-small-16", tier="tiny")
+        cfg = scaled_config(tg, memory_fraction=0.125)
+        # Memory below the traditional graph size but above two segments.
+        assert cfg.memory_bytes < tg.info.n_input_edges * 8
+        assert cfg.memory_bytes >= 2 * cfg.segment_bytes
+
+    def test_policy_forwarded(self):
+        c = GraphCache()
+        tg = c.tiled("kron-small-16", tier="tiny")
+        cfg = scaled_config(tg, cache_policy=CachePolicy.BASE)
+        assert cfg.cache_policy is CachePolicy.BASE
+
+    def test_baseline_matches_engine_budget(self):
+        c = GraphCache()
+        tg = c.tiled("kron-small-16", tier="tiny")
+        e = scaled_config(tg, memory_fraction=0.25)
+        b = scaled_baseline_config(tg, memory_fraction=0.25)
+        assert e.memory_bytes == b.memory_bytes
+        assert e.segment_bytes == b.segment_bytes
+
+    def test_scaled_device_latency(self):
+        c = GraphCache()
+        tg = c.tiled("kron-small-16", tier="tiny")
+        cfg = scaled_config(tg)
+        assert cfg.device_profile.latency < 1e-5

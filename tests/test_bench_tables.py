@@ -1,0 +1,41 @@
+"""Unit tests for the ASCII table renderer."""
+
+import pytest
+
+from repro.bench.tables import Table
+
+
+class TestTable:
+    def test_render_contains_everything(self):
+        t = Table("Demo", ["A", "B"])
+        t.add_row("x", 1.5)
+        out = t.render()
+        assert "== Demo ==" in out
+        assert "A" in out and "B" in out
+        assert "1.50" in out
+
+    def test_column_count_enforced(self):
+        t = Table("Demo", ["A", "B"])
+        with pytest.raises(ValueError):
+            t.add_row("only-one")
+
+    def test_float_formatting(self):
+        t = Table("t", ["v"])
+        t.add_row(0.12345)
+        t.add_row(12.345)
+        t.add_row(1234.5)
+        t.add_row(0.0)
+        cells = [r[0] for r in t.rows]
+        assert cells == ["0.1235", "12.35", "1234", "0"]
+
+    def test_alignment(self):
+        t = Table("t", ["name", "value"])
+        t.add_row("long-name-here", 1)
+        t.add_row("x", 2)
+        lines = t.render().splitlines()
+        assert len(lines[3]) == len(lines[4])
+
+    def test_str_is_render(self):
+        t = Table("t", ["a"])
+        t.add_row(1)
+        assert str(t) == t.render()

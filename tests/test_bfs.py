@@ -1,0 +1,164 @@
+"""BFS correctness against networkx (paper Algorithm 1)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.algorithms.bfs import BFS
+from repro.engine.config import EngineConfig
+from repro.engine.gstore import GStoreEngine
+from repro.errors import AlgorithmError
+from repro.format.edgelist import EdgeList
+from repro.format.tiles import TiledGraph
+from repro.types import INF_DEPTH
+
+
+def _run(tg, root=0, **cfg):
+    algo = BFS(root=root)
+    eng = GStoreEngine(
+        tg, EngineConfig(memory_bytes=64 * 1024, segment_bytes=8 * 1024, **cfg)
+    )
+    stats = eng.run(algo)
+    return algo, stats
+
+
+class TestUndirected:
+    def test_depths_match_networkx(self, tiled_undirected, nx_undirected):
+        algo, _ = _run(tiled_undirected, root=0)
+        ref = nx.single_source_shortest_path_length(nx_undirected, 0)
+        d = algo.result()
+        for v, expect in ref.items():
+            assert d[v] == expect
+
+    def test_unreachable_are_inf(self, tiled_undirected, nx_undirected):
+        algo, _ = _run(tiled_undirected, root=0)
+        reach = set(nx.single_source_shortest_path_length(nx_undirected, 0))
+        d = algo.result()
+        for v in range(tiled_undirected.n_vertices):
+            if v not in reach:
+                assert d[v] == INF_DEPTH
+
+    def test_symmetric_expansion_needed(self):
+        # A path stored only as upper-triangle tuples: without Algorithm
+        # 1's backward lines, BFS from the middle could not go left.
+        el = EdgeList.from_pairs(
+            [(0, 1), (1, 2), (2, 3)], n_vertices=4, directed=False
+        )
+        tg = TiledGraph.from_edge_list(el, tile_bits=1, group_q=1)
+        algo, _ = _run(tg, root=2)
+        assert algo.result().tolist() == [2, 1, 0, 1]
+
+
+class TestDirected:
+    def test_depths_match_networkx(self, tiled_directed, nx_directed, small_directed):
+        root = int(small_directed.src[0])
+        algo, _ = _run(tiled_directed, root=root)
+        ref = nx.single_source_shortest_path_length(nx_directed, root)
+        d = algo.result()
+        for v, expect in ref.items():
+            assert d[v] == expect
+
+    def test_direction_respected(self):
+        el = EdgeList.from_pairs([(0, 1), (2, 1)], n_vertices=3, directed=True)
+        tg = TiledGraph.from_edge_list(el, tile_bits=1, group_q=1)
+        algo, _ = _run(tg, root=0)
+        d = algo.result()
+        assert d[1] == 1
+        assert d[2] == INF_DEPTH  # edge (2,1) cannot be traversed backwards
+
+
+class TestMechanics:
+    def test_root_depth_zero(self, tiled_undirected):
+        algo, _ = _run(tiled_undirected, root=5)
+        assert algo.result()[5] == 0
+
+    def test_bad_root(self, tiled_undirected):
+        algo = BFS(root=10**9)
+        with pytest.raises(AlgorithmError):
+            algo.setup(tiled_undirected)
+
+    def test_iteration_count_is_depth(self, tiled_undirected, nx_undirected):
+        algo, stats = _run(tiled_undirected, root=0)
+        ref = nx.single_source_shortest_path_length(nx_undirected, 0)
+        assert stats.n_iterations == max(ref.values()) + 1
+
+    def test_visited_count(self, tiled_undirected, nx_undirected):
+        algo, _ = _run(tiled_undirected, root=0)
+        reach = nx.single_source_shortest_path_length(nx_undirected, 0)
+        assert algo.visited_count() == len(reach)
+
+    def test_rows_active_tracks_frontier(self, tiled_undirected):
+        algo = BFS(root=0)
+        algo.setup(tiled_undirected)
+        rows = algo.rows_active()
+        assert rows[0]  # root in row 0
+        assert rows.sum() == 1
+
+    def test_metadata_bytes(self, tiled_undirected):
+        algo = BFS()
+        algo.setup(tiled_undirected)
+        assert algo.metadata_bytes() == 4 * tiled_undirected.n_vertices
+
+    def test_selective_io_shrinks_with_frontier(self, tiled_undirected):
+        _, stats = _run(tiled_undirected, root=0)
+        reads = [it.bytes_read + it.bytes_from_cache for it in stats.iterations]
+        # The last iteration (tiny frontier) should demand less data than
+        # the explosion iteration.
+        assert reads[-1] <= max(reads)
+
+    def test_mteps_positive(self, tiled_undirected):
+        _, stats = _run(tiled_undirected)
+        assert stats.mteps() > 0
+
+
+class TestDirectionOptimizing:
+    def test_same_depths(self, tiled_undirected):
+        plain, _ = _run(tiled_undirected, root=0)
+        opt = BFS(root=0, direction_optimizing=True)
+        GStoreEngine(
+            tiled_undirected,
+            EngineConfig(memory_bytes=64 * 1024, segment_bytes=8 * 1024),
+        ).run(opt)
+        assert np.array_equal(plain.result(), opt.result())
+
+    def test_same_depths_directed(self, tiled_directed, small_directed):
+        root = int(small_directed.src[0])
+        plain, _ = _run(tiled_directed, root=root)
+        opt = BFS(root=root, direction_optimizing=True)
+        GStoreEngine(
+            tiled_directed,
+            EngineConfig(memory_bytes=64 * 1024, segment_bytes=8 * 1024),
+        ).run(opt)
+        assert np.array_equal(plain.result(), opt.result())
+
+    def test_never_demands_more_data(self, tiled_undirected):
+        _, plain_stats = _run(tiled_undirected, root=0)
+        opt = BFS(root=0, direction_optimizing=True)
+        opt_stats = GStoreEngine(
+            tiled_undirected,
+            EngineConfig(memory_bytes=64 * 1024, segment_bytes=8 * 1024),
+        ).run(opt)
+        plain_demand = plain_stats.bytes_read + plain_stats.bytes_from_cache
+        opt_demand = opt_stats.bytes_read + opt_stats.bytes_from_cache
+        assert opt_demand <= plain_demand
+
+    def test_mask_tighter_than_or_predicate(self, tiled_undirected):
+        # Midway through a traversal the AND-mask selects a subset of the
+        # OR-selection.
+        import numpy as np
+        from repro.engine.selective import select_positions
+        from repro.memory.proactive import tiles_needed_for_rows
+
+        algo = BFS(root=0, direction_optimizing=True)
+        algo.setup(tiled_undirected)
+        # Simulate a mid-run state: visit the root's tile row entirely.
+        span = 1 << tiled_undirected.tile_bits
+        algo.depth[:span] = 1
+        algo.depth[0] = 0
+        algo.level = 1
+        tg = tiled_undirected
+        mask = algo.tile_mask(tg.tile_rows, tg.tile_cols)
+        or_need = tiles_needed_for_rows(
+            tg.tile_rows, tg.tile_cols, algo.rows_active(), True
+        )
+        assert not (mask & ~or_need).any()  # subset

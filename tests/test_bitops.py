@@ -1,0 +1,87 @@
+"""Unit tests for the SNB bit helpers."""
+
+import numpy as np
+import pytest
+
+from repro.util.bitops import (
+    bits_for,
+    ceil_div,
+    is_pow2,
+    join_vertex_ids,
+    next_pow2,
+    split_vertex_ids,
+)
+
+
+class TestIsPow2:
+    def test_powers(self):
+        for k in range(20):
+            assert is_pow2(1 << k)
+
+    def test_non_powers(self):
+        for x in [0, 3, 5, 6, 7, 9, 12, 100, -4]:
+            assert not is_pow2(x)
+
+
+class TestNextPow2:
+    def test_exact(self):
+        assert next_pow2(8) == 8
+
+    def test_round_up(self):
+        assert next_pow2(9) == 16
+
+    def test_small(self):
+        assert next_pow2(0) == 1
+        assert next_pow2(1) == 1
+
+
+class TestBitsFor:
+    def test_eight_values_need_three_bits(self):
+        # The paper's example graph: IDs 0..7 need three bits.
+        assert bits_for(8) == 3
+
+    def test_single_value(self):
+        assert bits_for(1) == 1
+
+    def test_non_power(self):
+        assert bits_for(5) == 3
+        assert bits_for(9) == 4
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            bits_for(0)
+
+
+class TestCeilDiv:
+    def test_exact(self):
+        assert ceil_div(8, 4) == 2
+
+    def test_round_up(self):
+        assert ceil_div(9, 4) == 3
+
+    def test_zero_numerator(self):
+        assert ceil_div(0, 4) == 0
+
+    def test_bad_divisor(self):
+        with pytest.raises(ValueError):
+            ceil_div(4, 0)
+
+
+class TestSplitJoin:
+    def test_paper_example(self):
+        # Tile[1,1] with offset (4,4): local (0,1) represents edge (4,5).
+        ids = np.array([4, 5], dtype=np.uint32)
+        tile, local = split_vertex_ids(ids, 2)
+        assert tile.tolist() == [1, 1]
+        assert local.tolist() == [0, 1]
+
+    def test_roundtrip(self):
+        ids = np.arange(1000, dtype=np.uint32) * 7
+        tile, local = split_vertex_ids(ids, 5)
+        back = join_vertex_ids(tile, local, 5)
+        assert np.array_equal(back.astype(np.uint32), ids)
+
+    def test_local_bounded(self):
+        ids = np.arange(4096, dtype=np.uint32)
+        _, local = split_vertex_ids(ids, 8)
+        assert int(local.max()) < 256

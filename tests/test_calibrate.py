@@ -1,0 +1,48 @@
+"""Cost-model calibration against measured kernel rates."""
+
+import pytest
+
+from repro.runtime.calibrate import CalibrationResult, calibrate_cost_model
+from repro.runtime.cost import DEFAULT_EDGE_RATES
+
+
+class TestCalibration:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return calibrate_cost_model(scale=11, edge_factor=4, repeats=1)
+
+    def test_rates_positive(self, result):
+        assert result.bfs_rate > 0
+        assert result.pagerank_rate > 0
+        assert result.graph_edges > 0
+
+    def test_python_slower_than_paper_hardware(self, result):
+        # A single-process NumPy kernel cannot outrun a 56-thread Xeon by
+        # much; sanity-bound the measured rates.
+        assert result.bfs_rate < 100 * DEFAULT_EDGE_RATES["bfs"]
+
+    def test_cost_model_uses_measured_rates(self, result):
+        model = result.cost_model()
+        assert model.rate("bfs") == result.bfs_rate
+        assert model.rate("pagerank") == result.pagerank_rate
+
+    def test_unmeasured_rates_scaled_consistently(self, result):
+        model = result.cost_model()
+        expect_ratio = result.pagerank_rate / DEFAULT_EDGE_RATES["pagerank"]
+        got_ratio = model.rate("cc") / DEFAULT_EDGE_RATES["cc"]
+        assert got_ratio == pytest.approx(expect_ratio)
+
+    def test_model_usable_by_engine(self, result, tiled_undirected):
+        from repro.algorithms.pagerank import PageRank
+        from repro.engine.config import EngineConfig
+        from repro.engine.gstore import GStoreEngine
+
+        cfg = EngineConfig(
+            memory_bytes=64 * 1024,
+            segment_bytes=8 * 1024,
+            cost_model=result.cost_model(),
+        )
+        stats = GStoreEngine(tiled_undirected, cfg).run(
+            PageRank(max_iterations=2, tolerance=0.0)
+        )
+        assert stats.compute_time > 0

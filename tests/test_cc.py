@@ -1,0 +1,72 @@
+"""Connected-components correctness against networkx (Algorithm 2)."""
+
+import networkx as nx
+import numpy as np
+
+from repro.algorithms.cc import ConnectedComponents
+from repro.engine.config import EngineConfig
+from repro.engine.gstore import GStoreEngine
+from repro.format.edgelist import EdgeList
+from repro.format.tiles import TiledGraph
+
+
+def _run(tg):
+    algo = ConnectedComponents()
+    eng = GStoreEngine(
+        tg, EngineConfig(memory_bytes=64 * 1024, segment_bytes=8 * 1024)
+    )
+    stats = eng.run(algo)
+    return algo, stats
+
+
+class TestUndirected:
+    def test_component_count(self, tiled_undirected, nx_undirected):
+        algo, _ = _run(tiled_undirected)
+        assert algo.n_components() == nx.number_connected_components(nx_undirected)
+
+    def test_labels_constant_within_components(
+        self, tiled_undirected, nx_undirected
+    ):
+        algo, _ = _run(tiled_undirected)
+        comp = algo.result()
+        for members in nx.connected_components(nx_undirected):
+            labels = {int(comp[v]) for v in members}
+            assert len(labels) == 1
+
+    def test_label_is_min_vertex(self, tiled_undirected, nx_undirected):
+        algo, _ = _run(tiled_undirected)
+        comp = algo.result()
+        for members in nx.connected_components(nx_undirected):
+            assert int(comp[min(members)]) == min(members)
+
+
+class TestDirectedWCC:
+    def test_weak_components(self, tiled_directed, nx_directed):
+        # WCC on a directed graph = components after dropping direction.
+        algo, _ = _run(tiled_directed)
+        expect = nx.number_weakly_connected_components(nx_directed)
+        assert algo.n_components() == expect
+
+
+class TestConvergence:
+    def test_few_iterations_on_path(self):
+        # Pointer jumping collapses an n-path in O(log n) iterations —
+        # the "very few iterations" property the paper cites from [31].
+        n = 256
+        pairs = [(i, i + 1) for i in range(n - 1)]
+        el = EdgeList.from_pairs(pairs, n_vertices=n, directed=False)
+        tg = TiledGraph.from_edge_list(el, tile_bits=4, group_q=2)
+        algo, stats = _run(tg)
+        assert algo.n_components() == 1
+        assert stats.n_iterations <= 10
+
+    def test_isolated_vertices_are_own_components(self):
+        el = EdgeList.from_pairs([(0, 1)], n_vertices=5, directed=False)
+        tg = TiledGraph.from_edge_list(el, tile_bits=2, group_q=1)
+        algo, _ = _run(tg)
+        assert algo.n_components() == 4
+
+    def test_direction_passes_always_two(self, tiled_directed):
+        algo = ConnectedComponents()
+        algo.setup(tiled_directed)
+        assert algo.direction_passes == 2

@@ -1,0 +1,85 @@
+"""CLI smoke tests (argument wiring, not re-testing the engines)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "bfs", "kron-small-16"])
+        assert args.algorithm == "bfs"
+        assert args.memory_fraction == 0.25
+        assert not args.no_scr
+
+    def test_bad_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "dijkstra", "kron-small-16"])
+
+    def test_bad_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "fig99"])
+
+
+class TestCommands:
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "twitter-small" in out
+        assert "Kron-28-16" in out
+
+    def test_info(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "tiny")
+        assert main(["info", "kron-small-16", "--tier", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "tiles:" in out
+        assert "tile skew" in out
+
+    def test_convert_and_artifacts(self, tmp_path, capsys):
+        out_dir = tmp_path / "converted"
+        assert (
+            main(
+                [
+                    "convert",
+                    "kron-small-16",
+                    "--tier",
+                    "tiny",
+                    "--out",
+                    str(out_dir),
+                ]
+            )
+            == 0
+        )
+        assert (out_dir / "tiles.dat").exists()
+        assert (out_dir / "start_edge.bin").exists()
+        assert (out_dir / "info.json").exists()
+
+    def test_run_bfs(self, capsys):
+        assert main(["run", "bfs", "kron-small-16", "--tier", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "gstore/bfs" in out
+        assert "MTEPS" in out
+
+    def test_run_base_policy(self, capsys):
+        assert (
+            main(
+                [
+                    "run",
+                    "pagerank",
+                    "kron-small-16",
+                    "--tier",
+                    "tiny",
+                    "--no-scr",
+                ]
+            )
+            == 0
+        )
+        assert "gstore/pagerank" in capsys.readouterr().out
+
+    def test_bench_table2(self, capsys):
+        assert main(["bench", "table2"]) == 0
+        assert "Kron-33-16" in capsys.readouterr().out

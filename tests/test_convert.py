@@ -1,0 +1,52 @@
+"""Unit tests for the conversion pipelines (Table I machinery)."""
+
+import numpy as np
+
+from repro.format.convert import (
+    conversion_report,
+    convert_to_csr,
+    convert_to_tiles,
+)
+
+
+class TestConvertToCSR:
+    def test_undirected_materialises_both_directions(self, small_undirected):
+        csr, seconds = convert_to_csr(small_undirected)
+        assert seconds >= 0
+        assert csr.n_edges == 2 * small_undirected.canonicalized().n_edges
+
+    def test_directed_keeps_orientation(self, small_directed):
+        csr, _ = convert_to_csr(small_directed)
+        assert csr.n_edges == small_directed.n_edges
+
+
+class TestConvertToTiles:
+    def test_matches_direct_build(self, small_undirected):
+        tg, seconds = convert_to_tiles(small_undirected, tile_bits=7, group_q=2)
+        assert seconds >= 0
+        assert tg.n_edges == small_undirected.canonicalized().n_edges
+
+    def test_ablation_flags_forwarded(self, small_undirected):
+        tg, _ = convert_to_tiles(
+            small_undirected, tile_bits=7, group_q=2, snb=False, symmetric=False
+        )
+        assert not tg.snb
+        assert not tg.info.symmetric
+
+
+class TestReport:
+    def test_report_fields(self, small_undirected):
+        rep = conversion_report(small_undirected, tile_bits=7, group_q=2)
+        assert rep.graph == small_undirected.name
+        assert rep.csr_seconds > 0
+        assert rep.gstore_seconds > 0
+
+    def test_conversions_preserve_edges(self, kron_small):
+        csr, _ = convert_to_csr(kron_small)
+        tg, _ = convert_to_tiles(kron_small, tile_bits=8, group_q=4)
+        # CSR holds both orientations, tiles the canonical half.
+        canon = kron_small.canonicalized()
+        assert csr.n_edges == 2 * canon.n_edges
+        assert tg.n_edges == canon.n_edges
+        assert int(csr.out_degrees().sum()) == 2 * tg.n_edges
+        assert np.array_equal(csr.out_degrees(), canon.degrees())

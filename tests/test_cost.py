@@ -1,0 +1,47 @@
+"""Unit tests for the compute cost model."""
+
+import pytest
+
+from repro.runtime.cost import CostModel
+
+
+class TestRates:
+    def test_known_algorithm(self):
+        m = CostModel()
+        assert m.rate("bfs") > m.rate("pagerank")  # PR is compute-heavier
+
+    def test_unknown_falls_back(self):
+        m = CostModel()
+        assert m.rate("mystery") == m.edge_rates["default"]
+
+
+class TestComputeTime:
+    def test_linear_in_edges(self):
+        m = CostModel(tile_overhead=0.0)
+        t1 = m.compute_time("bfs", 1_000_000)
+        t2 = m.compute_time("bfs", 2_000_000)
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_tile_overhead_added(self):
+        m = CostModel(tile_overhead=1e-6)
+        base = m.compute_time("bfs", 1000)
+        with_tiles = m.compute_time("bfs", 1000, n_tiles=100)
+        assert with_tiles == pytest.approx(base + 1e-4)
+
+    def test_miss_factor_scales_edge_term(self):
+        m = CostModel(tile_overhead=0.0)
+        assert m.compute_time("bfs", 1000, miss_factor=2.0) == pytest.approx(
+            2 * m.compute_time("bfs", 1000)
+        )
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel().compute_time("bfs", -1)
+
+
+class TestScaled:
+    def test_scaling_rates(self):
+        m = CostModel()
+        fast = m.scaled(2.0)
+        assert fast.rate("bfs") == 2 * m.rate("bfs")
+        assert fast.compute_time("bfs", 1000, 0) < m.compute_time("bfs", 1000, 0)

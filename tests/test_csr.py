@@ -1,0 +1,101 @@
+"""Unit tests for the CSR format."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.format.csr import CSRGraph, build_bidirectional
+from repro.format.edgelist import EdgeList
+
+
+@pytest.fixture()
+def paper_graph():
+    """The example graph of Figure 1 (directed tuples as listed)."""
+    pairs = [
+        (0, 1), (0, 3), (1, 0), (1, 2), (2, 1), (3, 0),
+        (0, 4), (1, 4), (2, 4), (4, 0), (4, 1), (4, 2),
+        (4, 5), (5, 4), (5, 6), (5, 7), (6, 5), (7, 5),
+    ]
+    return EdgeList.from_pairs(pairs, n_vertices=8)
+
+
+class TestBuild:
+    def test_paper_beg_pos(self, paper_graph):
+        # Figure 1(c): beg-pos = 0 3 6 8 10 14 16 17 (18).
+        csr = CSRGraph.from_edge_list(paper_graph)
+        assert csr.beg_pos.tolist() == [0, 3, 6, 8, 9, 13, 16, 17, 18]
+
+    def test_neighbors(self, paper_graph):
+        csr = CSRGraph.from_edge_list(paper_graph)
+        assert sorted(csr.neighbors(0).tolist()) == [1, 3, 4]
+        assert sorted(csr.neighbors(4).tolist()) == [0, 1, 2, 5]
+        assert csr.neighbors(7).tolist() == [5]
+
+    def test_out_degrees(self, paper_graph):
+        csr = CSRGraph.from_edge_list(paper_graph)
+        assert csr.out_degrees().tolist() == [3, 3, 2, 1, 4, 3, 1, 1]
+
+    def test_edge_count_preserved(self, small_directed):
+        csr = CSRGraph.from_edge_list(small_directed)
+        assert csr.n_edges == small_directed.n_edges
+
+    def test_empty_graph(self):
+        el = EdgeList.from_pairs([], n_vertices=4)
+        csr = CSRGraph.from_edge_list(el)
+        assert csr.n_edges == 0
+        assert csr.beg_pos.tolist() == [0, 0, 0, 0, 0]
+
+
+class TestInvariants:
+    def test_bad_beg_pos_length(self):
+        with pytest.raises(FormatError):
+            CSRGraph(np.array([0, 1]), np.array([0], np.uint32), 3)
+
+    def test_decreasing_beg_pos(self):
+        with pytest.raises(FormatError):
+            CSRGraph(
+                np.array([0, 2, 1, 3]), np.arange(3, dtype=np.uint32), 3
+            )
+
+    def test_beg_pos_must_end_at_len_adj(self):
+        with pytest.raises(FormatError):
+            CSRGraph(np.array([0, 1, 5]), np.zeros(3, np.uint32), 2)
+
+
+class TestStorage:
+    def test_storage_bytes(self, paper_graph):
+        csr = CSRGraph.from_edge_list(paper_graph)
+        expected = 4 * 18 + 8 * 9
+        assert csr.storage_bytes() == expected
+
+
+class TestBidirectional:
+    def test_directed_pair(self, small_directed):
+        out_csr, in_csr = build_bidirectional(small_directed)
+        assert out_csr is not in_csr
+        assert out_csr.n_edges == in_csr.n_edges == small_directed.n_edges
+        # in-CSR neighbours of v are exactly the sources pointing at v.
+        v = int(small_directed.dst[0])
+        assert int(small_directed.src[0]) in in_csr.neighbors(v).tolist()
+
+    def test_undirected_shares_object(self, small_undirected):
+        out_csr, in_csr = build_bidirectional(small_undirected)
+        assert out_csr is in_csr
+        # Both orientations present: twice the canonical edge count.
+        assert out_csr.n_edges == 2 * small_undirected.canonicalized().n_edges
+
+
+class TestPersistence:
+    def test_roundtrip(self, tmp_path, paper_graph):
+        csr = CSRGraph.from_edge_list(paper_graph)
+        path = tmp_path / "g.csr"
+        csr.save(path)
+        back = CSRGraph.load(path)
+        assert np.array_equal(back.beg_pos, csr.beg_pos)
+        assert np.array_equal(back.adj, csr.adj)
+
+    def test_bad_file(self, tmp_path):
+        p = tmp_path / "x.csr"
+        p.write_bytes(b"XXXX" + b"\x00" * 16)
+        with pytest.raises(FormatError):
+            CSRGraph.load(p)

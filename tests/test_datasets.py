@@ -1,0 +1,94 @@
+"""Unit tests for the dataset registry."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.graphgen.datasets import (
+    PAPER_GRAPHS,
+    dataset_names,
+    get_spec,
+    load_dataset,
+    paper_table2_rows,
+    scale_tier,
+)
+
+
+class TestRegistry:
+    def test_all_paper_families_present(self):
+        names = dataset_names()
+        for expect in [
+            "twitter-small",
+            "friendster-small",
+            "subdomain-small",
+            "kron-small-16",
+            "rmat-small-16",
+            "random-small-32",
+        ]:
+            assert expect in names
+
+    def test_unknown_dataset(self):
+        with pytest.raises(DatasetError):
+            get_spec("nope")
+        with pytest.raises(DatasetError):
+            load_dataset("nope")
+
+    def test_tiny_tier_loads_everything(self):
+        for name in dataset_names():
+            el = load_dataset(name, tier="tiny")
+            assert el.n_edges > 0
+            assert el.name == name
+            el.validate()
+
+    def test_orientation_flags(self):
+        assert load_dataset("twitter-small", tier="tiny").directed
+        assert not load_dataset("friendster-small", tier="tiny").directed
+
+    def test_geometry_per_tier(self):
+        spec = get_spec("twitter-small")
+        tb, q = spec.geometry("tiny")
+        assert tb > 0 and q > 0
+
+    def test_deterministic(self):
+        a = load_dataset("kron-small-16", tier="tiny")
+        b = load_dataset("kron-small-16", tier="tiny")
+        assert np.array_equal(a.src, b.src)
+
+    def test_tiers_scale_up(self):
+        tiny = load_dataset("kron-small-16", tier="tiny")
+        small = load_dataset("kron-small-16", tier="small")
+        assert small.n_edges > 4 * tiny.n_edges
+
+
+class TestScaleTier:
+    def test_default_small(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert scale_tier() == "small"
+
+    def test_env_respected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "large")
+        assert scale_tier() == "large"
+
+    def test_bad_tier(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "huge")
+        with pytest.raises(DatasetError):
+            scale_tier()
+
+
+class TestPaperRows:
+    def test_all_table2_graphs_listed(self):
+        names = [g[0] for g in PAPER_GRAPHS]
+        assert "Kron-31-256" in names  # the trillion-edge graph
+        assert len(names) == 9
+
+    def test_table2_ratios(self):
+        rows = dict(paper_table2_rows())
+        assert rows["Kron-28-16"].saving_vs_edge_list == 4.0
+        assert rows["Kron-33-16"].saving_vs_edge_list == 8.0
+        assert rows["Twitter"].saving_vs_csr == 2.0
+
+    def test_trillion_edge_counts(self):
+        by_name = {g[0]: g for g in PAPER_GRAPHS}
+        _, _, nv, ne, _ = by_name["Kron-31-256"]
+        assert ne == 2**40  # one trillion edge tuples (paper: 10**12)
+        assert nv == 2**31

@@ -1,0 +1,81 @@
+"""Unit tests for the compressed degree array (§IV-C)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.format.degree import INLINE_MAX, CompressedDegreeArray
+
+
+class TestRoundtrip:
+    def test_small_degrees_inline(self):
+        deg = np.array([0, 1, 100, 32767])
+        c = CompressedDegreeArray.from_degrees(deg)
+        assert c.n_overflow == 0
+        assert c.to_array().tolist() == deg.tolist()
+
+    def test_large_degrees_overflow(self):
+        deg = np.array([5, 779_958, 3, 1_000_000])  # Twitter's hub degree
+        c = CompressedDegreeArray.from_degrees(deg)
+        assert c.n_overflow == 2
+        assert c.to_array().tolist() == deg.tolist()
+
+    def test_boundary(self):
+        deg = np.array([INLINE_MAX, INLINE_MAX + 1])
+        c = CompressedDegreeArray.from_degrees(deg)
+        assert c.n_overflow == 1
+        assert c.to_array().tolist() == deg.tolist()
+
+    def test_scalar_lookup(self):
+        c = CompressedDegreeArray.from_degrees(np.array([7, 100_000]))
+        assert c[0] == 7
+        assert c[1] == 100_000
+
+    def test_vector_lookup(self):
+        deg = np.array([1, 50_000, 2, 60_000, 3])
+        c = CompressedDegreeArray.from_degrees(deg)
+        got = c.get(np.array([4, 1, 3, 0]))
+        assert got.tolist() == [3, 50_000, 60_000, 1]
+
+
+class TestLimits:
+    def test_too_many_hubs_rejected(self):
+        # §IV-C: applicable only while large-degree vertices < 32768.
+        deg = np.full(40_000, 100_000)
+        with pytest.raises(FormatError):
+            CompressedDegreeArray.from_degrees(deg)
+
+    def test_negative_rejected(self):
+        with pytest.raises(FormatError):
+            CompressedDegreeArray.from_degrees(np.array([-1]))
+
+
+class TestSpaceSaving:
+    def test_halves_power_law_degree_array(self):
+        # The paper: "the size of degree array comes down from 4GB to 2GB".
+        rng = np.random.default_rng(5)
+        deg = rng.integers(0, 100, 100_000)
+        deg[:100] = 1_000_000  # a few hubs
+        c = CompressedDegreeArray.from_degrees(deg)
+        plain = CompressedDegreeArray.plain_bytes(deg.shape[0], 4)
+        assert c.storage_bytes() < plain * 0.51
+
+    def test_storage_accounting(self):
+        c = CompressedDegreeArray.from_degrees(np.array([1, 2, 3]))
+        assert c.storage_bytes() == 6  # 3 x uint16, no overflow
+
+
+class TestPersistence:
+    def test_roundtrip(self, tmp_path):
+        deg = np.array([1, 2, 999_999, 0])
+        c = CompressedDegreeArray.from_degrees(deg)
+        p = tmp_path / "deg.bin"
+        c.save(p)
+        back = CompressedDegreeArray.load(p)
+        assert back.to_array().tolist() == deg.tolist()
+
+    def test_bad_magic(self, tmp_path):
+        p = tmp_path / "x.bin"
+        p.write_bytes(b"XXXX" + b"\x00" * 16)
+        with pytest.raises(FormatError):
+            CompressedDegreeArray.load(p)

@@ -1,0 +1,143 @@
+"""Unit tests for the edge-list format."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.format.edgelist import EdgeList
+
+
+def _el(pairs, v=None, directed=True):
+    return EdgeList.from_pairs(pairs, n_vertices=v, directed=directed)
+
+
+class TestConstruction:
+    def test_from_pairs(self):
+        el = _el([(0, 1), (1, 2)])
+        assert el.n_edges == 2
+        assert el.n_vertices == 3
+
+    def test_explicit_vertex_count(self):
+        el = _el([(0, 1)], v=10)
+        assert el.n_vertices == 10
+
+    def test_empty(self):
+        el = _el([], v=5)
+        assert el.n_edges == 0
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(FormatError):
+            EdgeList(np.zeros(3, np.uint32), np.zeros(2, np.uint32), 5)
+
+    def test_negative_ids_rejected(self):
+        with pytest.raises(FormatError):
+            _el([(0, -1)])
+
+    def test_zero_vertices_rejected(self):
+        with pytest.raises(FormatError):
+            EdgeList(np.zeros(0, np.uint32), np.zeros(0, np.uint32), 0)
+
+    def test_validate_catches_out_of_range(self):
+        el = EdgeList(
+            np.array([9], np.uint32), np.array([0], np.uint32), 5
+        )
+        with pytest.raises(FormatError):
+            el.validate()
+
+
+class TestCanonicalize:
+    def test_orientation(self):
+        el = _el([(3, 1), (1, 3), (0, 2)], directed=False)
+        canon = el.canonicalized()
+        assert canon.n_edges == 2  # (1,3) deduped, orientation fixed
+        assert np.all(canon.src <= canon.dst)
+
+    def test_self_loops_dropped(self):
+        el = _el([(1, 1), (0, 1)], directed=False)
+        assert el.canonicalized().n_edges == 1
+
+    def test_self_loops_kept_when_asked(self):
+        el = _el([(1, 1), (0, 1)], directed=False)
+        assert el.canonicalized(drop_self_loops=False).n_edges == 2
+
+    def test_idempotent(self):
+        el = _el([(3, 1), (2, 0), (1, 3)], directed=False)
+        once = el.canonicalized()
+        twice = once.canonicalized()
+        assert np.array_equal(once.src, twice.src)
+        assert np.array_equal(once.dst, twice.dst)
+
+
+class TestSymmetrize:
+    def test_doubles_edges(self):
+        # §IV-A: "an edge (v1, v2) is stored twice" in traditional storage.
+        el = _el([(0, 1), (2, 3)], directed=False)
+        sym = el.symmetrized()
+        assert sym.n_edges == 4
+        assert sym.directed
+
+    def test_contains_both_orientations(self):
+        el = _el([(0, 1)], v=2, directed=False)
+        sym = el.symmetrized()
+        pairs = set(zip(sym.src.tolist(), sym.dst.tolist()))
+        assert pairs == {(0, 1), (1, 0)}
+
+
+class TestDegrees:
+    def test_out_degrees(self):
+        el = _el([(0, 1), (0, 2), (1, 2)])
+        assert el.out_degrees().tolist() == [2, 1, 0]
+
+    def test_in_degrees(self):
+        el = _el([(0, 1), (0, 2), (1, 2)])
+        assert el.in_degrees().tolist() == [0, 1, 2]
+
+    def test_undirected_degrees(self):
+        el = _el([(0, 1), (0, 2)], directed=False)
+        assert el.degrees().tolist() == [2, 1, 1]
+
+    def test_degrees_cached(self):
+        el = _el([(0, 1)])
+        assert el.out_degrees() is el.out_degrees()
+
+
+class TestDedupe:
+    def test_removes_duplicates(self):
+        el = _el([(0, 1), (0, 1), (1, 0)])
+        assert el.deduped().n_edges == 2
+
+    def test_without_self_loops(self):
+        el = _el([(0, 0), (0, 1)])
+        assert el.without_self_loops().n_edges == 1
+
+
+class TestStorageBytes:
+    def test_eight_bytes_per_tuple(self):
+        el = _el([(0, 1)] * 10, v=100)
+        assert el.storage_bytes() == 80
+
+    def test_sixteen_bytes_above_2_32(self):
+        el = _el([(0, 1)], v=100)
+        assert el.storage_bytes(vertex_bytes=8) == 16
+
+
+class TestPersistence:
+    def test_roundtrip(self, tmp_path):
+        el = _el([(0, 5), (3, 2), (4, 4)], v=6, directed=False)
+        path = tmp_path / "g.bin"
+        el.save(path)
+        back = EdgeList.load(path, name="loaded")
+        assert back.n_vertices == 6
+        assert not back.directed
+        assert np.array_equal(back.src, el.src)
+        assert np.array_equal(back.dst, el.dst)
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.bin"
+        path.write_bytes(b"NOPE" + b"\x00" * 32)
+        with pytest.raises(FormatError):
+            EdgeList.load(path)
+
+    def test_repr(self):
+        el = _el([(0, 1)], directed=False)
+        assert "undirected" in repr(el)

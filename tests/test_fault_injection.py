@@ -1,0 +1,127 @@
+"""Failure injection: corrupted payloads, short reads, bad extents.
+
+The engine must fail loudly (typed exceptions), never silently compute on
+garbage — and the fsck tool must catch what slipped past.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.bfs import BFS
+from repro.engine.config import EngineConfig
+from repro.engine.gstore import GStoreEngine
+from repro.errors import FormatError, StorageError
+from repro.format.tiles import TiledGraph
+from repro.format.validate import check_tiled_graph
+from repro.storage.aio import AIOContext, IORequest
+from repro.storage.file import TileStore
+from repro.storage.raid import Raid0Array
+from repro.util.timer import SimClock
+
+
+class _ShortReadStore(TileStore):
+    """A store whose reads are silently truncated after a byte budget."""
+
+    def __init__(self, data: bytes, fail_after: int):
+        super().__init__(data=data)
+        self._served = 0
+        self._fail_after = fail_after
+
+    def read(self, offset: int, size: int) -> bytes:
+        out = super().read(offset, size)
+        self._served += size
+        if self._served > self._fail_after:
+            return out[: max(0, len(out) - 1)]  # drop the final byte
+        return out
+
+
+class TestTruncatedReads:
+    def test_tile_decode_rejects_short_payload(self, tiled_undirected):
+        tg = tiled_undirected
+        pos = next(
+            p for p in range(tg.n_tiles) if tg.start_edge.edge_count(p) > 0
+        )
+        off, size = tg.start_edge.byte_extent(pos)
+        raw = tg.payload.tobytes()[off : off + size - tg.tuple_bytes]
+        with pytest.raises(FormatError):
+            tg.view_from_bytes(pos, raw)
+
+    def test_truncated_file_fails_on_load(self, tmp_path, tiled_undirected):
+        d = tmp_path / "g"
+        tiled_undirected.save(d)
+        payload = d / "tiles.dat"
+        payload.write_bytes(payload.read_bytes()[:-4])
+        ext = TiledGraph.load(d, resident=False)
+        algo = BFS(root=0)
+        with pytest.raises((StorageError, FormatError)):
+            GStoreEngine(
+                ext, EngineConfig(memory_bytes=64 * 1024, segment_bytes=8 * 1024)
+            ).run(algo)
+
+    def test_short_read_store_detected(self, tiled_undirected):
+        tg = tiled_undirected
+        store = _ShortReadStore(tg.payload.tobytes(), fail_after=256)
+        clock = SimClock()
+        ctx = AIOContext(store=store, array=Raid0Array(), clock=clock)
+        # Eventually a truncated event arrives; decoding it must raise.
+        with pytest.raises(FormatError):
+            for pos in range(tg.n_tiles):
+                if tg.start_edge.edge_count(pos) == 0:
+                    continue
+                off, size = tg.start_edge.byte_extent(pos)
+                events, _ = ctx.read_batch([IORequest(off, size, tag=pos)])
+                tg.view_from_bytes(pos, events[0].data)
+
+
+class TestCorruptPayload:
+    def test_bitflip_caught_by_fsck(self, tmp_path, small_undirected):
+        tg = TiledGraph.from_edge_list(small_undirected, tile_bits=7, group_q=2)
+        # Flip a local ID on a diagonal tile to break the upper-triangle
+        # invariant.
+        for pos in range(tg.n_tiles):
+            i, j = int(tg.tile_rows[pos]), int(tg.tile_cols[pos])
+            if i == j and tg.start_edge.edge_count(pos) > 0:
+                tv = tg.tile_view(pos)
+                gsrc, gdst = tv.global_edges()
+                strict = gsrc < gdst
+                if not strict.any():
+                    continue
+                k = int(np.nonzero(strict)[0][0])
+                lo = int(tg.start_edge.start_edge[pos])
+                a = int(tg.payload[2 * (lo + k)])
+                b = int(tg.payload[2 * (lo + k) + 1])
+                tg.payload[2 * (lo + k)] = b
+                tg.payload[2 * (lo + k) + 1] = a
+                break
+        rep = check_tiled_graph(tg)
+        assert not rep.ok
+
+    def test_out_of_range_extent_rejected(self, tiled_undirected):
+        store = TileStore.from_tiled_graph(tiled_undirected)
+        with pytest.raises(StorageError):
+            store.read(store.size - 1, 2)
+
+
+class TestGracefulEmpty:
+    def test_empty_graph_runs(self):
+        from repro.format.edgelist import EdgeList
+
+        el = EdgeList.from_pairs([], n_vertices=8, directed=False)
+        tg = TiledGraph.from_edge_list(el, tile_bits=2, group_q=1)
+        algo = BFS(root=0)
+        stats = GStoreEngine(
+            tg, EngineConfig(memory_bytes=64 * 1024, segment_bytes=8 * 1024)
+        ).run(algo)
+        assert algo.visited_count() == 1
+        assert stats.bytes_read == 0
+
+    def test_single_vertex_graph(self):
+        from repro.format.edgelist import EdgeList
+
+        el = EdgeList.from_pairs([], n_vertices=1, directed=False)
+        tg = TiledGraph.from_edge_list(el, tile_bits=1, group_q=1)
+        algo = BFS(root=0)
+        GStoreEngine(
+            tg, EngineConfig(memory_bytes=64 * 1024, segment_bytes=8 * 1024)
+        ).run(algo)
+        assert algo.result().tolist() == [0]

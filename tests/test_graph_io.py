@@ -1,0 +1,100 @@
+"""Text edge-list I/O (SNAP/KONECT style)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.format.edgelist import EdgeList
+from repro.graphgen.io import read_text_edge_list, write_text_edge_list
+
+
+class TestRead:
+    def test_basic(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("# comment\n0 1\n1 2\n\n% another comment\n2 0\n")
+        el = read_text_edge_list(p)
+        assert el.n_edges == 3
+        assert el.n_vertices == 3
+        assert el.src.tolist() == [0, 1, 2]
+
+    def test_extra_columns_ignored(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("0 1 3.5 1290000000\n1 0 2.0 1290000001\n")
+        el = read_text_edge_list(p)
+        assert el.n_edges == 2
+
+    def test_tabs_and_spaces(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("0\t1\n2   3\n")
+        el = read_text_edge_list(p)
+        assert el.n_edges == 2
+        assert el.n_vertices == 4
+
+    def test_explicit_vertex_count(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("0 1\n")
+        el = read_text_edge_list(p, n_vertices=100)
+        assert el.n_vertices == 100
+
+    def test_directed_flag(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("0 1\n")
+        assert not read_text_edge_list(p, directed=False).directed
+
+    def test_bad_line(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("0\n")
+        with pytest.raises(FormatError):
+            read_text_edge_list(p)
+
+    def test_non_integer(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("a b\n")
+        with pytest.raises(FormatError):
+            read_text_edge_list(p)
+
+    def test_negative_id(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("-1 2\n")
+        with pytest.raises(FormatError):
+            read_text_edge_list(p)
+
+    def test_empty_file(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("# nothing\n")
+        el = read_text_edge_list(p)
+        assert el.n_edges == 0
+        assert el.n_vertices == 1
+
+    def test_name_defaults_to_filename(self, tmp_path):
+        p = tmp_path / "mygraph.txt"
+        p.write_text("0 1\n")
+        assert read_text_edge_list(p).name == "mygraph.txt"
+
+
+class TestRoundtrip:
+    def test_write_read(self, tmp_path, small_directed):
+        p = tmp_path / "g.txt"
+        n = write_text_edge_list(small_directed, p)
+        assert n == small_directed.n_edges
+        back = read_text_edge_list(p, n_vertices=small_directed.n_vertices)
+        assert np.array_equal(back.src, small_directed.src)
+        assert np.array_equal(back.dst, small_directed.dst)
+
+    def test_header_optional(self, tmp_path):
+        el = EdgeList.from_pairs([(0, 1)], n_vertices=2)
+        p = tmp_path / "g.txt"
+        write_text_edge_list(el, p, header=False)
+        assert not p.read_text().startswith("#")
+
+    def test_pipeline_to_tiles(self, tmp_path, small_undirected):
+        from repro.format.tiles import TiledGraph
+
+        p = tmp_path / "g.txt"
+        write_text_edge_list(small_undirected, p)
+        back = read_text_edge_list(
+            p, directed=False, n_vertices=small_undirected.n_vertices
+        )
+        tg1 = TiledGraph.from_edge_list(back, tile_bits=7, group_q=2)
+        tg2 = TiledGraph.from_edge_list(small_undirected, tile_bits=7, group_q=2)
+        assert np.array_equal(tg1.payload, tg2.payload)

@@ -1,0 +1,101 @@
+"""Unit tests for physical grouping geometry (§V-A)."""
+
+import pytest
+
+from repro.errors import FormatError
+from repro.format.grouping import PhysicalGrouping
+
+
+class TestGeometry:
+    def test_group_count(self):
+        g = PhysicalGrouping(p=8, q=4, symmetric=False)
+        assert g.g == 2
+
+    def test_ragged_group_count(self):
+        g = PhysicalGrouping(p=10, q=4, symmetric=False)
+        assert g.g == 3
+
+    def test_tile_counts_full(self):
+        g = PhysicalGrouping(p=4, q=2, symmetric=False)
+        assert g.n_tiles == 16
+
+    def test_tile_counts_upper(self):
+        # Upper triangle of a 4x4 grid: 4+3+2+1 tiles.
+        g = PhysicalGrouping(p=4, q=2, symmetric=True)
+        assert g.n_tiles == 10
+
+    def test_invalid(self):
+        with pytest.raises(FormatError):
+            PhysicalGrouping(p=0, q=1, symmetric=False)
+        with pytest.raises(FormatError):
+            PhysicalGrouping(p=4, q=0, symmetric=False)
+
+
+class TestDiskOrder:
+    def test_covers_all_tiles_once(self):
+        g = PhysicalGrouping(p=6, q=2, symmetric=False)
+        order = g.disk_order()
+        assert len(order) == g.n_tiles
+        assert len(set(order)) == g.n_tiles
+
+    def test_symmetric_skips_lower_triangle(self):
+        g = PhysicalGrouping(p=4, q=2, symmetric=True)
+        assert all(j >= i for i, j in g.disk_order())
+
+    def test_symmetric_groups_skip_lower(self):
+        g = PhysicalGrouping(p=4, q=2, symmetric=True)
+        assert (1, 0) not in g.groups()
+        assert (0, 1) in g.groups()
+
+    def test_groups_are_contiguous_runs(self):
+        # The defining property of physical grouping: each group occupies
+        # one contiguous run of disk positions (one sequential read).
+        g = PhysicalGrouping(p=8, q=2, symmetric=True)
+        order = g.disk_order()
+        for (gi, gj), sl in g.group_slices():
+            tiles = order[sl]
+            assert tiles == g.tiles_in_group(gi, gj)
+
+    def test_q_one_equals_row_major(self):
+        g1 = PhysicalGrouping(p=4, q=1, symmetric=False)
+        gp = PhysicalGrouping(p=4, q=4, symmetric=False)
+        assert g1.disk_order() == gp.disk_order()
+
+
+class TestLookup:
+    def test_group_of_tile(self):
+        g = PhysicalGrouping(p=8, q=4, symmetric=False)
+        assert g.group_of_tile(0, 0) == (0, 0)
+        assert g.group_of_tile(3, 5) == (0, 1)
+        assert g.group_of_tile(7, 7) == (1, 1)
+
+    def test_group_of_tile_out_of_range(self):
+        g = PhysicalGrouping(p=4, q=2, symmetric=False)
+        with pytest.raises(FormatError):
+            g.group_of_tile(4, 0)
+
+    def test_tiles_in_group_out_of_range(self):
+        g = PhysicalGrouping(p=4, q=2, symmetric=False)
+        with pytest.raises(FormatError):
+            g.tiles_in_group(5, 0)
+
+    def test_position_grid(self):
+        g = PhysicalGrouping(p=4, q=2, symmetric=True)
+        grid = g.position_grid()
+        assert grid.shape == (4, 4)
+        assert grid[1, 0] == -1  # lower triangle unstored
+        stored = grid[grid >= 0]
+        assert sorted(stored.tolist()) == list(range(g.n_tiles))
+
+
+class TestMetadataSizing:
+    def test_metadata_bytes_per_group(self):
+        g = PhysicalGrouping(p=16, q=4, symmetric=False)
+        # 2 sides x (4 tiles x 256 vertices) x 4 bytes.
+        assert g.metadata_bytes_per_group(tile_bits=8, meta_bytes=4) == 8192
+
+    def test_paper_twitter_metadata(self):
+        # §V-A: one Twitter tile's BFS metadata is 64KB (2 x 65536 x ...);
+        # per-tile share: span 2**16 vertices at 1 byte -> 64KB one side.
+        g = PhysicalGrouping(p=803, q=1, symmetric=False)
+        assert g.metadata_bytes_per_group(tile_bits=16, meta_bytes=1) == 2 * 65536

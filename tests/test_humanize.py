@@ -1,0 +1,45 @@
+"""Unit tests for human-readable formatting."""
+
+from repro.util.humanize import fmt_bytes, fmt_count, fmt_time
+
+
+class TestFmtBytes:
+    def test_bytes(self):
+        assert fmt_bytes(512) == "512B"
+
+    def test_kilobytes(self):
+        assert fmt_bytes(2048) == "2.00KB"
+
+    def test_gigabytes(self):
+        assert fmt_bytes(7.31 * 2**30).startswith("7.31")
+
+    def test_terabytes(self):
+        assert fmt_bytes(4 * 2**40) == "4.00TB"
+
+
+class TestFmtTime:
+    def test_microseconds(self):
+        assert fmt_time(5e-6) == "5.0us"
+
+    def test_milliseconds(self):
+        assert fmt_time(0.25) == "250.0ms"
+
+    def test_seconds(self):
+        assert fmt_time(42.5) == "42.50s"
+
+    def test_minutes(self):
+        assert fmt_time(2548.5) == "42m28s"  # the paper's trillion-edge BFS
+
+    def test_negative(self):
+        assert fmt_time(-1.0) == "-1.00s"
+
+
+class TestFmtCount:
+    def test_plain(self):
+        assert fmt_count(999) == "999"
+
+    def test_millions(self):
+        assert fmt_count(36_000_000) == "36.00M"
+
+    def test_trillions(self):
+        assert fmt_count(1e12) == "1.00T"

@@ -1,0 +1,62 @@
+"""In-memory engine: same results as the semi-external engine, no I/O."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.bfs import BFS
+from repro.algorithms.cc import ConnectedComponents
+from repro.algorithms.pagerank import PageRank
+from repro.engine.config import EngineConfig
+from repro.engine.gstore import GStoreEngine
+from repro.engine.inmemory import InMemoryEngine
+from repro.errors import AlgorithmError
+from repro.format.tiles import TiledGraph
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("algo_cls", [BFS, ConnectedComponents])
+    def test_matches_semi_external(self, tiled_undirected, algo_cls):
+        mem_algo = algo_cls()
+        InMemoryEngine(tiled_undirected).run(mem_algo)
+        ext_algo = algo_cls()
+        GStoreEngine(
+            tiled_undirected,
+            EngineConfig(memory_bytes=64 * 1024, segment_bytes=8 * 1024),
+        ).run(ext_algo)
+        assert np.array_equal(mem_algo.result(), ext_algo.result())
+
+    def test_pagerank_matches(self, tiled_undirected):
+        a = PageRank(max_iterations=10, tolerance=0.0)
+        InMemoryEngine(tiled_undirected).run(a)
+        b = PageRank(max_iterations=10, tolerance=0.0)
+        GStoreEngine(
+            tiled_undirected,
+            EngineConfig(memory_bytes=64 * 1024, segment_bytes=8 * 1024),
+        ).run(b)
+        assert np.allclose(a.result(), b.result())
+
+
+class TestBehaviour:
+    def test_no_io_in_stats(self, tiled_undirected):
+        stats = InMemoryEngine(tiled_undirected).run(BFS(root=0))
+        assert stats.io_time == 0.0
+        assert stats.bytes_read == 0
+        assert stats.wall_seconds > 0
+        assert stats.engine == "inmemory"
+
+    def test_requires_resident_payload(self, tmp_path, tiled_undirected):
+        d = tmp_path / "g"
+        tiled_undirected.save(d)
+        ext = TiledGraph.load(d, resident=False)
+        with pytest.raises(AlgorithmError):
+            InMemoryEngine(ext)
+
+    def test_nonconvergence_guard(self, tiled_undirected):
+        algo = PageRank(max_iterations=100, tolerance=0.0)
+        with pytest.raises(AlgorithmError):
+            InMemoryEngine(tiled_undirected, max_iterations=3).run(algo)
+
+    def test_selective_processing(self, tiled_undirected):
+        stats = InMemoryEngine(tiled_undirected).run(BFS(root=0))
+        # Early iterations touch few tiles thanks to frontier selectivity.
+        assert stats.iterations[0].edges_processed < tiled_undirected.n_edges

@@ -1,0 +1,92 @@
+"""k-core extraction against networkx (extension algorithm)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.algorithms.kcore import KCore
+from repro.engine.config import EngineConfig
+from repro.engine.gstore import GStoreEngine
+from repro.errors import AlgorithmError
+from repro.format.edgelist import EdgeList
+from repro.format.tiles import TiledGraph
+
+
+def _run(tg, k):
+    algo = KCore(k=k)
+    GStoreEngine(
+        tg, EngineConfig(memory_bytes=64 * 1024, segment_bytes=8 * 1024)
+    ).run(algo)
+    return algo
+
+
+class TestAgainstNetworkx:
+    @pytest.mark.parametrize("k", [2, 3, 5])
+    def test_undirected_core_membership(self, small_undirected, tiled_undirected, k):
+        algo = _run(tiled_undirected, k)
+        g = nx.Graph()
+        g.add_nodes_from(range(small_undirected.n_vertices))
+        canon = small_undirected.canonicalized()
+        g.add_edges_from(zip(canon.src.tolist(), canon.dst.tolist()))
+        expect = set(nx.k_core(g, k).nodes())
+        got = set(algo.core_vertices().tolist())
+        assert got == expect
+
+    def test_k1_keeps_non_isolated(self, small_undirected, tiled_undirected):
+        algo = _run(tiled_undirected, 1)
+        deg = small_undirected.canonicalized().degrees()
+        assert set(algo.core_vertices().tolist()) == set(
+            np.nonzero(deg >= 1)[0].tolist()
+        )
+
+    def test_huge_k_empty_core(self, tiled_undirected):
+        algo = _run(tiled_undirected, 10_000)
+        assert algo.core_size() == 0
+
+
+class TestInvariants:
+    def test_min_degree_within_core(self, small_undirected, tiled_undirected):
+        k = 4
+        algo = _run(tiled_undirected, k)
+        active = algo.result()
+        canon = small_undirected.canonicalized()
+        mask = active[canon.src] & active[canon.dst]
+        deg = np.bincount(
+            canon.src[mask], minlength=small_undirected.n_vertices
+        ) + np.bincount(canon.dst[mask], minlength=small_undirected.n_vertices)
+        assert np.all(deg[active] >= k)
+
+    def test_directed_counts_both_directions(self):
+        # A directed 3-cycle: undirected degrees are 2, so the 2-core
+        # keeps the cycle even though out-degrees are 1.
+        el = EdgeList.from_pairs(
+            [(0, 1), (1, 2), (2, 0), (3, 0)], n_vertices=4, directed=True
+        )
+        tg = TiledGraph.from_edge_list(el, tile_bits=1, group_q=1)
+        algo = _run(tg, 2)
+        assert set(algo.core_vertices().tolist()) == {0, 1, 2}
+
+    def test_peeling_cascades(self):
+        # A chain hanging off a triangle: peeling must propagate down the
+        # chain one vertex per round, then stabilise on the triangle.
+        pairs = [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5)]
+        el = EdgeList.from_pairs(pairs, n_vertices=6, directed=False)
+        tg = TiledGraph.from_edge_list(el, tile_bits=2, group_q=1)
+        algo = _run(tg, 2)
+        assert set(algo.core_vertices().tolist()) == {0, 1, 2}
+
+
+class TestValidation:
+    def test_bad_k(self):
+        with pytest.raises(AlgorithmError):
+            KCore(k=0)
+
+    def test_direction_passes(self, tiled_undirected):
+        algo = KCore(k=2)
+        algo.setup(tiled_undirected)
+        assert algo.direction_passes == 2
+
+    def test_metadata_bytes(self, tiled_undirected):
+        algo = KCore(k=2)
+        algo.setup(tiled_undirected)
+        assert algo.metadata_bytes() > 0

@@ -1,0 +1,90 @@
+"""Structured generators: ring, grid, weighted road network."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.graphgen.lattice import grid2d, ring, road_network
+
+
+class TestRing:
+    def test_shape(self):
+        el = ring(10)
+        assert el.n_edges == 10
+        assert not el.directed
+
+    def test_every_vertex_degree_two(self):
+        el = ring(16)
+        assert (el.canonicalized().degrees() == 2).all()
+
+    def test_too_small(self):
+        with pytest.raises(DatasetError):
+            ring(2)
+
+
+class TestGrid2D:
+    def test_edge_count(self):
+        # rows*(cols-1) horizontal + (rows-1)*cols vertical.
+        el = grid2d(4, 5)
+        assert el.n_edges == 4 * 4 + 3 * 5
+
+    def test_matches_networkx_grid(self):
+        el = grid2d(5, 7)
+        g = nx.Graph()
+        g.add_nodes_from(range(35))
+        canon = el.canonicalized()
+        g.add_edges_from(zip(canon.src.tolist(), canon.dst.tolist()))
+        ref = nx.grid_2d_graph(5, 7)
+        assert g.number_of_edges() == ref.number_of_edges()
+        assert nx.is_connected(g)
+
+    def test_single_cell(self):
+        assert grid2d(1, 1).n_edges == 0
+
+    def test_invalid(self):
+        with pytest.raises(DatasetError):
+            grid2d(0, 3)
+
+
+class TestRoadNetwork:
+    def test_weighted(self):
+        el = road_network(8, 8, seed=3)
+        assert el.weights is not None
+        assert el.weights.min() >= 0.5
+        el.validate()
+
+    def test_deterministic(self):
+        a = road_network(6, 6, seed=5)
+        b = road_network(6, 6, seed=5)
+        assert np.array_equal(a.src, b.src)
+        assert np.allclose(a.weights, b.weights)
+
+    def test_shortcuts_added(self):
+        plain = road_network(16, 16, seed=1, diagonal_fraction=0.0)
+        with_short = road_network(16, 16, seed=1, diagonal_fraction=0.2)
+        assert with_short.n_edges > plain.n_edges
+
+    def test_shortcuts_reduce_distances(self):
+        from repro.algorithms.sssp import SSSP
+        from repro.engine.config import EngineConfig
+        from repro.engine.gstore import GStoreEngine
+        from repro.format.tiles import TiledGraph
+
+        def run(el):
+            tg = TiledGraph.from_edge_list(el, tile_bits=6, group_q=2)
+            algo = SSSP(root=0)
+            GStoreEngine(
+                tg, EngineConfig(memory_bytes=64 * 1024, segment_bytes=8 * 1024)
+            ).run(algo)
+            return algo.result()
+
+        plain = run(road_network(12, 12, seed=2, diagonal_fraction=0.0))
+        short = run(road_network(12, 12, seed=2, diagonal_fraction=0.3))
+        # Highways never make anything farther, and help somewhere.
+        assert (short <= plain + 1e-6).all()
+        assert (short < plain - 1e-6).any()
+
+    def test_bad_fraction(self):
+        with pytest.raises(DatasetError):
+            road_network(4, 4, diagonal_fraction=1.5)

@@ -1,0 +1,108 @@
+"""Unit tests for the set-associative LLC simulator (Figures 11/12)."""
+
+import numpy as np
+import pytest
+
+from repro.cache.llc import SetAssocCache
+from repro.errors import StorageError
+
+
+def _cache(size=1024, line=64, ways=2):
+    return SetAssocCache(size_bytes=size, line_bytes=line, ways=ways)
+
+
+class TestGeometry:
+    def test_set_count(self):
+        c = _cache(size=1024, line=64, ways=2)
+        assert c.n_sets == 8
+
+    def test_invalid_geometry(self):
+        with pytest.raises(StorageError):
+            SetAssocCache(size_bytes=1000, line_bytes=64, ways=2)
+        with pytest.raises(StorageError):
+            SetAssocCache(size_bytes=1024, line_bytes=60, ways=2)
+        with pytest.raises(StorageError):
+            SetAssocCache(size_bytes=0)
+
+
+class TestBehaviour:
+    def test_cold_miss_then_hit(self):
+        c = _cache()
+        c.access(np.array([0]))
+        assert c.stats.misses == 1
+        c.access(np.array([0]))
+        assert c.stats.hits == 1
+
+    def test_same_line_is_hit(self):
+        c = _cache(line=64)
+        c.access(np.array([0, 63]))
+        assert c.stats.misses == 1
+        assert c.stats.hits == 1
+
+    def test_lru_eviction_within_set(self):
+        c = _cache(size=1024, line=64, ways=2)  # 8 sets
+        set_stride = 64 * 8  # addresses mapping to the same set
+        a, b, d = 0, set_stride, 2 * set_stride
+        c.access(np.array([a, b]))  # fill both ways
+        c.access(np.array([d]))  # evicts a (LRU)
+        local = c.access(np.array([a]))
+        assert local.misses == 1
+
+    def test_lru_order_refreshed_by_hit(self):
+        c = _cache(size=1024, line=64, ways=2)
+        stride = 64 * 8
+        a, b, d = 0, stride, 2 * stride
+        c.access(np.array([a, b, a]))  # a most-recent now
+        c.access(np.array([d]))  # evicts b
+        assert c.access(np.array([a])).hits == 1
+        assert c.access(np.array([b])).misses == 1
+
+    def test_contains(self):
+        c = _cache()
+        c.access(np.array([128]))
+        assert c.contains(128)
+        assert c.contains(129)
+        assert not c.contains(128 + 64 * 8 * 100)
+
+    def test_sequential_scan_miss_rate(self):
+        # One miss per line for a cold streaming scan.
+        c = _cache(size=4096, line=64, ways=4)
+        addrs = np.arange(0, 64 * 100)
+        c.access(addrs)
+        assert c.stats.misses == 100
+
+    def test_working_set_fits(self):
+        # Repeated sweeps over a working set smaller than the cache hit
+        # after the first pass.
+        c = _cache(size=4096, line=64, ways=4)
+        sweep = np.arange(0, 2048, 64)
+        c.access(sweep)
+        second = c.access(sweep)
+        assert second.misses == 0
+
+    def test_working_set_exceeds(self):
+        # Cyclic sweep over 2x the cache with LRU: every access misses.
+        c = _cache(size=1024, line=64, ways=2)
+        sweep = np.arange(0, 2048, 64)
+        c.access(sweep)
+        second = c.access(sweep)
+        assert second.misses == second.operations
+
+    def test_reset(self):
+        c = _cache()
+        c.access(np.array([0, 1, 2]))
+        c.reset()
+        assert c.stats.operations == 0
+        assert not c.contains(0)
+
+
+class TestStats:
+    def test_merge_accumulates(self):
+        c = _cache()
+        c.access(np.array([0]))
+        c.access(np.array([0]))
+        assert c.stats.operations == 2
+        assert c.stats.miss_rate == pytest.approx(0.5)
+
+    def test_empty_miss_rate(self):
+        assert _cache().stats.miss_rate == 0.0

@@ -1,0 +1,99 @@
+"""Unit tests for GraphInfo and the Table II size calculators."""
+
+import pytest
+
+from repro.errors import FormatError
+from repro.format.metadata import (
+    GraphInfo,
+    format_sizes,
+    start_edge_file_bytes,
+)
+
+GB = 2**30
+TB = 2**40
+
+
+class TestTable2Exact:
+    """Every row of the paper's Table II must reproduce exactly."""
+
+    def test_kron_28_16(self):
+        s = format_sizes(2**28, n_undirected_edges=2**32)
+        assert s.edge_list_bytes == 64 * GB
+        assert s.csr_bytes == 32 * GB
+        assert s.gstore_bytes == 16 * GB
+        assert s.saving_vs_edge_list == 4.0
+        assert s.saving_vs_csr == 2.0
+
+    def test_kron_30_16(self):
+        s = format_sizes(2**30, n_undirected_edges=2**34)
+        assert s.edge_list_bytes == 256 * GB
+        assert s.csr_bytes == 128 * GB
+        assert s.gstore_bytes == 64 * GB
+
+    def test_kron_33_16_needs_8_byte_ids(self):
+        s = format_sizes(2**33, n_undirected_edges=2**37)
+        assert s.edge_list_bytes == 4 * TB
+        assert s.csr_bytes == 2 * TB
+        assert s.gstore_bytes == 512 * GB
+        assert s.saving_vs_edge_list == 8.0
+        assert s.saving_vs_csr == 4.0
+
+    def test_kron_31_256(self):
+        s = format_sizes(2**31, n_undirected_edges=2**39)
+        assert s.edge_list_bytes == 8 * TB
+        assert s.csr_bytes == 4 * TB
+        assert s.gstore_bytes == 2 * TB
+
+    def test_twitter_directed(self):
+        s = format_sizes(52_579_682, n_directed_edges=1_963_263_821)
+        # 14.6GB / 14.6GB / 7.3GB per the paper.
+        assert round(s.edge_list_bytes / GB, 1) == 14.6
+        assert s.csr_bytes == s.edge_list_bytes
+        assert round(s.gstore_bytes / GB, 1) == 7.3
+        assert s.saving_vs_edge_list == 2.0
+        assert s.saving_vs_csr == 2.0
+
+
+class TestValidation:
+    def test_exactly_one_edge_kind(self):
+        with pytest.raises(ValueError):
+            format_sizes(100)
+        with pytest.raises(ValueError):
+            format_sizes(100, n_undirected_edges=1, n_directed_edges=1)
+
+
+class TestStartEdgeFile:
+    def test_paper_kron_33_start_edge(self):
+        # §IV-C: "additional 65GB for the start-edge file" (Kron-33-16).
+        size = start_edge_file_bytes(2**33, tile_bits=16, symmetric=True)
+        assert 60 * GB < size < 70 * GB
+
+    def test_full_grid(self):
+        # 2 tiles per side, full grid: 4 tiles -> 5 entries x 8 bytes.
+        assert start_edge_file_bytes(512, tile_bits=8, symmetric=False) == 40
+
+
+class TestGraphInfo:
+    def test_roundtrip(self, tmp_path):
+        info = GraphInfo(
+            name="t", n_vertices=1000, n_edges=5000, n_input_edges=10000,
+            directed=False, symmetric=True, tile_bits=8, group_q=4,
+        )
+        p = tmp_path / "info.json"
+        info.save(p)
+        back = GraphInfo.load(p)
+        assert back == info
+
+    def test_geometry_properties(self):
+        info = GraphInfo(
+            name="t", n_vertices=1000, n_edges=1, n_input_edges=1,
+            directed=False, symmetric=True, tile_bits=8, group_q=4,
+        )
+        assert info.tile_span == 256
+        assert info.p == 4  # ceil(1000 / 256)
+
+    def test_bad_payload(self, tmp_path):
+        p = tmp_path / "info.json"
+        p.write_text('{"name": "x"}')
+        with pytest.raises(FormatError):
+            GraphInfo.load(p)

@@ -1,0 +1,85 @@
+"""Luby's maximal independent set: independence + maximality properties."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.algorithms.mis import MaximalIndependentSet
+from repro.engine.config import EngineConfig
+from repro.engine.gstore import GStoreEngine
+from repro.format.edgelist import EdgeList
+from repro.format.tiles import TiledGraph
+
+
+def _run(tg, seed=1):
+    algo = MaximalIndependentSet(seed=seed)
+    GStoreEngine(
+        tg, EngineConfig(memory_bytes=64 * 1024, segment_bytes=8 * 1024)
+    ).run(algo)
+    return algo
+
+
+def _check_mis(el: EdgeList, mask: np.ndarray):
+    g = nx.Graph()
+    g.add_nodes_from(range(el.n_vertices))
+    canon = el.canonicalized()
+    g.add_edges_from(zip(canon.src.tolist(), canon.dst.tolist()))
+    members = set(np.nonzero(mask)[0].tolist())
+    # Independence: no edge inside the set.
+    for u, v in g.edges():
+        assert not (u in members and v in members), (u, v)
+    # Maximality: every non-member has a member neighbour.
+    for v in g.nodes():
+        if v not in members:
+            assert any(n in members for n in g.neighbors(v)), v
+
+
+class TestProperties:
+    def test_undirected_random(self, small_undirected, tiled_undirected):
+        algo = _run(tiled_undirected)
+        _check_mis(small_undirected, algo.result())
+
+    def test_directed_treated_undirected(self, small_directed, tiled_directed):
+        algo = _run(tiled_directed)
+        _check_mis(small_directed, algo.result())
+
+    @pytest.mark.parametrize("seed", [1, 7, 42])
+    def test_different_seeds_all_valid(self, small_undirected, tiled_undirected, seed):
+        algo = _run(tiled_undirected, seed=seed)
+        _check_mis(small_undirected, algo.result())
+
+    def test_deterministic_per_seed(self, tiled_undirected):
+        a = _run(tiled_undirected, seed=3)
+        b = _run(tiled_undirected, seed=3)
+        assert np.array_equal(a.result(), b.result())
+
+
+class TestStructured:
+    def test_path_graph(self):
+        el = EdgeList.from_pairs(
+            [(i, i + 1) for i in range(19)], n_vertices=20, directed=False
+        )
+        tg = TiledGraph.from_edge_list(el, tile_bits=3, group_q=1)
+        algo = _run(tg)
+        _check_mis(el, algo.result())
+        # A maximal independent set of a 20-path has at least 7 vertices.
+        assert algo.in_set().shape[0] >= 7
+
+    def test_isolated_vertices_included(self):
+        el = EdgeList.from_pairs([(0, 1)], n_vertices=5, directed=False)
+        tg = TiledGraph.from_edge_list(el, tile_bits=2, group_q=1)
+        algo = _run(tg)
+        members = set(algo.in_set().tolist())
+        assert {2, 3, 4} <= members
+
+    def test_complete_graph_single_member(self):
+        pairs = [(i, j) for i in range(8) for j in range(i + 1, 8)]
+        el = EdgeList.from_pairs(pairs, n_vertices=8, directed=False)
+        tg = TiledGraph.from_edge_list(el, tile_bits=2, group_q=1)
+        algo = _run(tg)
+        assert algo.in_set().shape[0] == 1
+
+    def test_converges_in_few_rounds(self, tiled_undirected):
+        algo = _run(tiled_undirected)
+        # Luby: O(log n) w.h.p.; generous bound.
+        assert algo.rounds <= 30

@@ -1,0 +1,142 @@
+"""PageRank correctness against networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.algorithms.pagerank import PageRank
+from repro.engine.config import EngineConfig
+from repro.engine.gstore import GStoreEngine
+
+
+def _run(tg, **kw):
+    algo = PageRank(tolerance=kw.pop("tolerance", 1e-12), max_iterations=300)
+    eng = GStoreEngine(
+        tg, EngineConfig(memory_bytes=64 * 1024, segment_bytes=8 * 1024)
+    )
+    stats = eng.run(algo)
+    return algo, stats
+
+
+class TestUndirected:
+    def test_matches_networkx(self, tiled_undirected, nx_undirected):
+        algo, _ = _run(tiled_undirected)
+        ref = nx.pagerank(nx_undirected, alpha=0.85, max_iter=500, tol=1e-14)
+        mine = algo.result()
+        err = max(abs(mine[v] - ref[v]) for v in range(len(mine)))
+        assert err < 1e-8
+
+    def test_sums_to_one(self, tiled_undirected):
+        algo, _ = _run(tiled_undirected)
+        assert float(algo.result().sum()) == pytest.approx(1.0, abs=1e-9)
+
+
+class TestDirected:
+    def test_matches_networkx(self, tiled_directed, nx_directed):
+        algo, _ = _run(tiled_directed)
+        ref = nx.pagerank(nx_directed, alpha=0.85, max_iter=500, tol=1e-14)
+        mine = algo.result()
+        err = max(abs(mine[v] - ref[v]) for v in range(len(mine)))
+        assert err < 1e-8
+
+    def test_dangling_mass_redistributed(self):
+        from repro.format.edgelist import EdgeList
+        from repro.format.tiles import TiledGraph
+
+        # Vertex 2 is dangling (no out-edges).
+        el = EdgeList.from_pairs([(0, 1), (1, 2)], n_vertices=3, directed=True)
+        tg = TiledGraph.from_edge_list(el, tile_bits=1, group_q=1)
+        algo, _ = _run(tg)
+        assert float(algo.result().sum()) == pytest.approx(1.0, abs=1e-9)
+        g = nx.DiGraph()
+        g.add_nodes_from(range(3))
+        g.add_edges_from([(0, 1), (1, 2)])
+        ref = nx.pagerank(g, alpha=0.85, tol=1e-14, max_iter=500)
+        for v in range(3):
+            assert algo.result()[v] == pytest.approx(ref[v], abs=1e-8)
+
+
+class TestConvergence:
+    def test_converges_before_cap(self, tiled_undirected):
+        algo, stats = _run(tiled_undirected)
+        assert algo.iterations_run < 300
+        assert algo.delta < 1e-12
+
+    def test_fixed_iterations(self, tiled_undirected):
+        algo = PageRank(max_iterations=5, tolerance=0.0)
+        eng = GStoreEngine(
+            tiled_undirected,
+            EngineConfig(memory_bytes=64 * 1024, segment_bytes=8 * 1024),
+        )
+        stats = eng.run(algo)
+        assert algo.iterations_run == 5
+        assert stats.n_iterations == 5
+
+    def test_all_rows_active(self, tiled_undirected):
+        algo = PageRank()
+        algo.setup(tiled_undirected)
+        assert algo.rows_active().all()
+        assert algo.rows_active_next().all()
+
+    def test_metadata_bytes(self, tiled_undirected):
+        algo = PageRank()
+        algo.setup(tiled_undirected)
+        assert algo.metadata_bytes() >= 3 * 8 * tiled_undirected.n_vertices
+
+
+class TestPersonalized:
+    def _run(self, tg, personalization):
+        algo = PageRank(
+            tolerance=1e-12, max_iterations=500, personalization=personalization
+        )
+        GStoreEngine(
+            tg, EngineConfig(memory_bytes=64 * 1024, segment_bytes=8 * 1024)
+        ).run(algo)
+        return algo
+
+    def test_matches_networkx(self, tiled_directed, nx_directed):
+        seeds = {0: 1.0, 7: 3.0}
+        algo = self._run(tiled_directed, seeds)
+        ref = nx.pagerank(
+            nx_directed,
+            alpha=0.85,
+            personalization=seeds,
+            max_iter=1000,
+            tol=1e-14,
+        )
+        mine = algo.result()
+        err = max(abs(mine[v] - ref[v]) for v in range(len(mine)))
+        assert err < 1e-8
+
+    def test_undirected(self, tiled_undirected, nx_undirected):
+        seeds = {3: 1.0}
+        algo = self._run(tiled_undirected, seeds)
+        ref = nx.pagerank(
+            nx_undirected,
+            alpha=0.85,
+            personalization=seeds,
+            max_iter=1000,
+            tol=1e-14,
+        )
+        mine = algo.result()
+        err = max(abs(mine[v] - ref[v]) for v in range(len(mine)))
+        assert err < 1e-8
+
+    def test_mass_concentrates_near_seeds(self, tiled_undirected):
+        algo = self._run(tiled_undirected, {5: 1.0})
+        plain = PageRank(tolerance=1e-12, max_iterations=500)
+        GStoreEngine(
+            tiled_undirected,
+            EngineConfig(memory_bytes=64 * 1024, segment_bytes=8 * 1024),
+        ).run(plain)
+        assert algo.result()[5] > plain.result()[5]
+
+    def test_validation(self, tiled_undirected):
+        from repro.errors import AlgorithmError
+
+        with pytest.raises(AlgorithmError):
+            PageRank(personalization={10**9: 1.0}).setup(tiled_undirected)
+        with pytest.raises(AlgorithmError):
+            PageRank(personalization={0: -1.0}).setup(tiled_undirected)
+        with pytest.raises(AlgorithmError):
+            PageRank(personalization={0: 0.0}).setup(tiled_undirected)

@@ -1,0 +1,70 @@
+"""Unit tests for the traditional 2-D partitioned edge list (Figure 1e)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.format.edgelist import EdgeList
+from repro.format.partition2d import Partitioned2D
+
+
+@pytest.fixture()
+def paper_grid():
+    """Figure 1(e): the sample graph in a 2x2 partition."""
+    pairs = [
+        (0, 1), (0, 3), (1, 0), (1, 2), (2, 1), (3, 0),
+        (0, 4), (1, 4), (2, 4), (4, 0), (4, 1), (4, 2),
+        (4, 5), (5, 4), (5, 6), (5, 7), (6, 5), (7, 5),
+    ]
+    el = EdgeList.from_pairs(pairs, n_vertices=8)
+    return Partitioned2D.from_edge_list(el, 2)
+
+
+class TestPartitioning:
+    def test_partition_counts_match_figure(self, paper_grid):
+        counts = paper_grid.partition_edge_counts()
+        # Figure 1(e): partition[0,0]=6, [0,1]=3, [1,0]=3, [1,1]=6.
+        assert counts.tolist() == [[6, 3], [3, 6]]
+
+    def test_partition_contents(self, paper_grid):
+        s, d = paper_grid.partition(0, 1)
+        pairs = set(zip(s.tolist(), d.tolist()))
+        assert pairs == {(0, 4), (1, 4), (2, 4)}
+
+    def test_all_edges_kept(self, paper_grid):
+        assert paper_grid.n_edges == 18
+        assert int(paper_grid.partition_edge_counts().sum()) == 18
+
+    def test_span(self, paper_grid):
+        assert paper_grid.span == 4
+
+    def test_iter_partitions_row_major(self, paper_grid):
+        seen = [(i, j) for i, j, _, _ in paper_grid.iter_partitions()]
+        assert seen == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_out_of_range(self, paper_grid):
+        with pytest.raises(FormatError):
+            paper_grid.partition(2, 0)
+
+    def test_bad_part_count(self):
+        el = EdgeList.from_pairs([(0, 1)], n_vertices=4)
+        with pytest.raises(FormatError):
+            Partitioned2D.from_edge_list(el, 0)
+
+
+class TestEdgeMembership:
+    def test_edges_land_in_right_partition(self, small_directed):
+        grid = Partitioned2D.from_edge_list(small_directed, 4)
+        span = grid.span
+        for i in range(4):
+            for j in range(4):
+                s, d = grid.partition(i, j)
+                if s.shape[0]:
+                    assert np.all(s // span == i)
+                    assert np.all(d // span == j)
+
+
+class TestStorage:
+    def test_full_tuple_cost(self, paper_grid):
+        # 8 bytes per edge (two 4-byte global IDs) — no SNB saving.
+        assert paper_grid.storage_bytes() == 18 * 8

@@ -1,0 +1,60 @@
+"""Unit tests for the overlapped I/O-compute timeline (the *slide*)."""
+
+import pytest
+
+from repro.runtime.pipeline import PipelineTimeline
+from repro.util.timer import SimClock
+
+
+class TestOverlap:
+    def test_step_costs_max(self):
+        t = PipelineTimeline(overlap=True)
+        assert t.step(2.0, 3.0) == 3.0
+        assert t.totals.elapsed == 3.0
+
+    def test_stall_attribution(self):
+        t = PipelineTimeline(overlap=True)
+        t.step(5.0, 2.0)  # I/O-bound step: compute waited 3s
+        assert t.totals.io_stall == pytest.approx(3.0)
+        t.step(1.0, 4.0)  # CPU-bound step
+        assert t.totals.compute_stall == pytest.approx(3.0)
+
+    def test_io_bound_fraction(self):
+        t = PipelineTimeline(overlap=True)
+        t.step(4.0, 0.0)
+        assert t.totals.io_bound_fraction == pytest.approx(1.0)
+
+    def test_clock_advances(self):
+        clock = SimClock()
+        t = PipelineTimeline(clock=clock, overlap=True)
+        t.step(1.0, 2.0)
+        t.compute_only(0.5)
+        assert clock.now == pytest.approx(2.5)
+
+
+class TestSerial:
+    def test_step_costs_sum(self):
+        t = PipelineTimeline(overlap=False)
+        assert t.step(2.0, 3.0) == 5.0
+
+    def test_serial_slower_than_overlapped(self):
+        a = PipelineTimeline(overlap=True)
+        b = PipelineTimeline(overlap=False)
+        for _ in range(5):
+            a.step(1.0, 1.0)
+            b.step(1.0, 1.0)
+        assert b.totals.elapsed == 2 * a.totals.elapsed
+
+
+class TestAccounting:
+    def test_busy_totals(self):
+        t = PipelineTimeline()
+        t.step(1.0, 2.0)
+        t.io_only(3.0)
+        assert t.totals.io_busy == pytest.approx(4.0)
+        assert t.totals.compute_busy == pytest.approx(2.0)
+        assert t.totals.steps == 2
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            PipelineTimeline().step(-1.0, 0.0)

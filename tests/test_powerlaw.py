@@ -1,0 +1,75 @@
+"""Unit tests for the heavy-tailed social-graph generator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.format.tiles import TiledGraph
+from repro.graphgen.powerlaw import powerlaw_directed, zipf_ranks
+
+
+class TestZipfRanks:
+    def test_range(self):
+        rng = np.random.default_rng(1)
+        r = zipf_ranks(10_000, 1.5, 1000, rng)
+        assert r.min() >= 0
+        assert r.max() < 1000
+
+    def test_head_heavy(self):
+        rng = np.random.default_rng(1)
+        r = zipf_ranks(100_000, 1.5, 10_000, rng)
+        # Rank 0 should collect far more mass than the median rank.
+        counts = np.bincount(r, minlength=10_000)
+        assert counts[0] > 100 * max(1, counts[5000])
+
+    def test_larger_exponent_more_skew(self):
+        rng1 = np.random.default_rng(2)
+        rng2 = np.random.default_rng(2)
+        mild = zipf_ranks(50_000, 1.2, 1000, rng1)
+        steep = zipf_ranks(50_000, 2.0, 1000, rng2)
+        assert np.bincount(steep)[0] > np.bincount(mild)[0]
+
+    def test_validation(self):
+        rng = np.random.default_rng(1)
+        with pytest.raises(DatasetError):
+            zipf_ranks(10, 1.0, 100, rng)
+        with pytest.raises(DatasetError):
+            zipf_ranks(10, 1.5, 0, rng)
+
+
+class TestPowerlawDirected:
+    def test_shape(self):
+        el = powerlaw_directed(1000, 5000, seed=3)
+        assert el.n_vertices == 1000
+        assert el.n_edges == 5000
+        assert el.directed
+
+    def test_in_degree_hubs(self):
+        el = powerlaw_directed(5000, 100_000, s_in=1.5, seed=3)
+        ind = el.in_degrees()
+        assert ind.max() > 50 * max(1.0, float(np.median(ind)))
+
+    def test_cluster_dst_concentrates_hubs_at_low_ids(self):
+        el = powerlaw_directed(5000, 50_000, seed=3, cluster_dst=True)
+        ind = el.in_degrees()
+        assert int(ind.argmax()) < 50
+
+    def test_scattered_variant(self):
+        el = powerlaw_directed(5000, 50_000, seed=3, cluster_dst=False)
+        ind = el.in_degrees()
+        # Hubs permuted away from the low-ID corner with high probability.
+        top = np.argsort(ind)[-10:]
+        assert (top > 500).any()
+
+    def test_tile_skew_matches_figure5_shape(self):
+        # The Figure 5 properties: a large empty-tile fraction and a
+        # dominant largest tile.
+        el = powerlaw_directed(1 << 14, 250_000, s_in=1.5, s_out=1.15, seed=7)
+        tg = TiledGraph.from_edge_list(el.deduped(), tile_bits=8, group_q=4)
+        counts = tg.tile_edge_counts()
+        assert float((counts == 0).mean()) > 0.15
+        assert counts.max() > 100 * max(1.0, float(np.median(counts[counts > 0])))
+
+    def test_validation(self):
+        with pytest.raises(DatasetError):
+            powerlaw_directed(0, 10)

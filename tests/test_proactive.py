@@ -1,0 +1,59 @@
+"""Unit tests for the proactive caching predicates (§VI-C)."""
+
+import numpy as np
+
+from repro.memory.proactive import (
+    row_activity_from_vertices,
+    tiles_needed_for_rows,
+)
+
+
+class TestTilesNeeded:
+    def test_undirected_needs_row_or_column(self):
+        # Paper's Rule 2: tile[i,j] needed when range i OR range j has
+        # frontiers (upper-triangle tiles serve both directions).
+        tile_rows = np.array([0, 0, 1])
+        tile_cols = np.array([0, 1, 1])
+        active = np.array([False, True])  # only range 1 active
+        need = tiles_needed_for_rows(tile_rows, tile_cols, active, symmetric=True)
+        assert need.tolist() == [False, True, True]
+
+    def test_directed_needs_source_row_only(self):
+        tile_rows = np.array([0, 0, 1, 1])
+        tile_cols = np.array([0, 1, 0, 1])
+        active = np.array([False, True])
+        need = tiles_needed_for_rows(tile_rows, tile_cols, active, symmetric=False)
+        assert need.tolist() == [False, False, True, True]
+
+    def test_nothing_active(self):
+        need = tiles_needed_for_rows(
+            np.array([0, 1]), np.array([1, 1]), np.array([False, False]), True
+        )
+        assert not need.any()
+
+    def test_all_active(self):
+        need = tiles_needed_for_rows(
+            np.array([0, 1]), np.array([1, 1]), np.array([True, True]), False
+        )
+        assert need.all()
+
+
+class TestRowActivity:
+    def test_folds_vertices_to_rows(self):
+        mask = np.zeros(32, dtype=bool)
+        mask[5] = True  # row 0 with 8-vertex rows (tile_bits=3)
+        mask[17] = True  # row 2
+        rows = row_activity_from_vertices(mask, n_rows=4, tile_bits=3)
+        assert rows.tolist() == [True, False, True, False]
+
+    def test_empty_mask(self):
+        rows = row_activity_from_vertices(np.zeros(16, bool), 2, 3)
+        assert not rows.any()
+
+    def test_paper_rule1_example(self):
+        # §VI-C Rule 1 example: frontiers in vertex range 0-3 come only
+        # from row[0]'s processing.  The fold maps those vertices to row 0.
+        mask = np.zeros(8, dtype=bool)
+        mask[2] = True
+        rows = row_activity_from_vertices(mask, n_rows=2, tile_bits=2)
+        assert rows.tolist() == [True, False]

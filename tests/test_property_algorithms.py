@@ -1,0 +1,119 @@
+"""Property-based tests: algorithm results vs networkx on random graphs."""
+
+import networkx as nx
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.bfs import BFS
+from repro.algorithms.cc import ConnectedComponents
+from repro.algorithms.pagerank import PageRank
+from repro.engine.config import EngineConfig
+from repro.engine.gstore import GStoreEngine
+from repro.format.edgelist import EdgeList
+from repro.format.tiles import TiledGraph
+from repro.types import INF_DEPTH
+
+
+@st.composite
+def graphs(draw, directed):
+    n_v = draw(st.integers(min_value=2, max_value=150))
+    n_e = draw(st.integers(min_value=1, max_value=300))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, n_v, n_e).astype(np.uint32)
+    dst = rng.integers(0, n_v, n_e).astype(np.uint32)
+    el = EdgeList(src, dst, n_v, directed=directed, name="prop")
+    if directed:
+        el = el.deduped().without_self_loops()
+    return el
+
+
+def _tile(el):
+    return TiledGraph.from_edge_list(el, tile_bits=4, group_q=2)
+
+
+def _engine(tg):
+    return GStoreEngine(
+        tg, EngineConfig(memory_bytes=32 * 1024, segment_bytes=4 * 1024)
+    )
+
+
+def _nx(el):
+    g = nx.DiGraph() if el.directed else nx.Graph()
+    g.add_nodes_from(range(el.n_vertices))
+    source = el if el.directed else el.canonicalized()
+    g.add_edges_from(zip(source.src.tolist(), source.dst.tolist()))
+    return g
+
+
+class TestBFSProperty:
+    @given(el=graphs(directed=False), root_seed=st.integers(0, 10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_undirected_depths(self, el, root_seed):
+        root = root_seed % el.n_vertices
+        algo = BFS(root=root)
+        _engine(_tile(el)).run(algo)
+        ref = nx.single_source_shortest_path_length(_nx(el), root)
+        d = algo.result()
+        for v in range(el.n_vertices):
+            if v in ref:
+                assert d[v] == ref[v]
+            else:
+                assert d[v] == INF_DEPTH
+
+    @given(el=graphs(directed=True), root_seed=st.integers(0, 10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_directed_depths(self, el, root_seed):
+        root = root_seed % el.n_vertices
+        algo = BFS(root=root)
+        _engine(_tile(el)).run(algo)
+        ref = nx.single_source_shortest_path_length(_nx(el), root)
+        d = algo.result()
+        for v in range(el.n_vertices):
+            if v in ref:
+                assert d[v] == ref[v]
+            else:
+                assert d[v] == INF_DEPTH
+
+
+class TestCCProperty:
+    @given(el=graphs(directed=False))
+    @settings(max_examples=25, deadline=None)
+    def test_component_structure(self, el):
+        algo = ConnectedComponents()
+        _engine(_tile(el)).run(algo)
+        comp = algo.result()
+        g = _nx(el)
+        assert algo.n_components() == nx.number_connected_components(g)
+        for members in nx.connected_components(g):
+            assert len({int(comp[v]) for v in members}) == 1
+
+    @given(el=graphs(directed=True))
+    @settings(max_examples=20, deadline=None)
+    def test_weak_components_on_directed(self, el):
+        algo = ConnectedComponents()
+        _engine(_tile(el)).run(algo)
+        g = _nx(el)
+        assert algo.n_components() == nx.number_weakly_connected_components(g)
+
+
+class TestPageRankProperty:
+    @given(el=graphs(directed=True))
+    @settings(max_examples=15, deadline=None)
+    def test_matches_networkx(self, el):
+        algo = PageRank(tolerance=1e-12, max_iterations=500)
+        _engine(_tile(el)).run(algo)
+        ref = nx.pagerank(_nx(el), alpha=0.85, max_iter=1000, tol=1e-14)
+        mine = algo.result()
+        for v in range(el.n_vertices):
+            assert abs(mine[v] - ref[v]) < 1e-7
+
+    @given(el=graphs(directed=False))
+    @settings(max_examples=15, deadline=None)
+    def test_probability_distribution(self, el):
+        algo = PageRank(tolerance=1e-10, max_iterations=500)
+        _engine(_tile(el)).run(algo)
+        r = algo.result()
+        assert float(r.sum()) == np.float64(1.0).item() or abs(r.sum() - 1) < 1e-8
+        assert float(r.min()) > 0

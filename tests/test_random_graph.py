@@ -1,0 +1,33 @@
+"""Unit tests for the uniform random generator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.graphgen.random_graph import uniform_random
+
+
+class TestUniformRandom:
+    def test_shape(self):
+        el = uniform_random(10, edge_factor=32, seed=1)
+        assert el.n_vertices == 1024
+        assert el.n_edges == 32 * 1024
+        assert el.name == "random-10-32"
+
+    def test_flat_degree_distribution(self):
+        el = uniform_random(10, edge_factor=32, seed=1)
+        deg = el.out_degrees()
+        # Poisson(32): no vertex should be wildly above the mean.
+        assert deg.max() < 32 + 8 * np.sqrt(32)
+
+    def test_deterministic(self):
+        a = uniform_random(8, 4, seed=9)
+        b = uniform_random(8, 4, seed=9)
+        assert np.array_equal(a.dst, b.dst)
+
+    def test_ids_in_range(self):
+        uniform_random(8, 4, seed=9).validate()
+
+    def test_bad_scale(self):
+        with pytest.raises(DatasetError):
+            uniform_random(0)

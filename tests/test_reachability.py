@@ -1,0 +1,92 @@
+"""Subset-restricted forward/backward reachability over tiles."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.algorithms.reachability import Reachability
+from repro.engine.config import EngineConfig
+from repro.engine.gstore import GStoreEngine
+from repro.errors import AlgorithmError
+from repro.format.edgelist import EdgeList
+from repro.format.tiles import TiledGraph
+
+
+def _run(tg, **kw):
+    algo = Reachability(**kw)
+    GStoreEngine(
+        tg, EngineConfig(memory_bytes=64 * 1024, segment_bytes=8 * 1024)
+    ).run(algo)
+    return algo
+
+
+class TestForward:
+    def test_matches_descendants(self, small_directed, tiled_directed, nx_directed):
+        root = int(small_directed.src[0])
+        algo = _run(tiled_directed, seeds=[root], forward=True)
+        expect = nx.descendants(nx_directed, root) | {root}
+        got = set(np.nonzero(algo.reached())[0].tolist())
+        assert got == expect
+
+    def test_multi_source(self, small_directed, tiled_directed, nx_directed):
+        roots = [int(small_directed.src[0]), int(small_directed.src[1])]
+        algo = _run(tiled_directed, seeds=roots, forward=True)
+        expect = set(roots)
+        for r in roots:
+            expect |= nx.descendants(nx_directed, r)
+        assert set(np.nonzero(algo.reached())[0].tolist()) == expect
+
+
+class TestBackward:
+    def test_matches_ancestors(self, small_directed, tiled_directed, nx_directed):
+        target = int(small_directed.dst[0])
+        algo = _run(tiled_directed, seeds=[target], forward=False)
+        expect = nx.ancestors(nx_directed, target) | {target}
+        assert set(np.nonzero(algo.reached())[0].tolist()) == expect
+
+    def test_directed_chain(self):
+        el = EdgeList.from_pairs([(0, 1), (1, 2)], n_vertices=3, directed=True)
+        tg = TiledGraph.from_edge_list(el, tile_bits=1, group_q=1)
+        algo = _run(tg, seeds=[2], forward=False)
+        assert algo.reached().tolist() == [True, True, True]
+        algo = _run(tg, seeds=[0], forward=False)
+        assert algo.reached().tolist() == [True, False, False]
+
+    def test_backward_selective_cols(self, tiled_directed):
+        algo = Reachability(seeds=[0], forward=False)
+        algo.setup(tiled_directed)
+        assert not algo.rows_active().any()
+        assert algo.cols_active() is not None
+        assert algo.cols_active().any()
+
+
+class TestSubsetRestriction:
+    def test_wall_blocks_traversal(self):
+        el = EdgeList.from_pairs(
+            [(0, 1), (1, 2), (2, 3)], n_vertices=4, directed=True
+        )
+        tg = TiledGraph.from_edge_list(el, tile_bits=1, group_q=1)
+        allowed = np.array([True, True, False, True])
+        algo = _run(tg, seeds=[0], forward=True, allowed=allowed)
+        assert algo.reached().tolist() == [True, True, False, False]
+
+    def test_seed_outside_subset_rejected(self, tiled_directed):
+        allowed = np.zeros(tiled_directed.n_vertices, dtype=bool)
+        with pytest.raises(AlgorithmError):
+            Reachability(seeds=[0], allowed=allowed).setup(tiled_directed)
+
+    def test_bad_seed(self, tiled_directed):
+        with pytest.raises(AlgorithmError):
+            Reachability(seeds=[10**9]).setup(tiled_directed)
+
+
+class TestUndirected:
+    def test_equals_connected_component(self, tiled_undirected, nx_undirected):
+        algo = _run(tiled_undirected, seeds=[0], forward=True)
+        expect = nx.node_connected_component(nx_undirected, 0)
+        assert set(np.nonzero(algo.reached())[0].tolist()) == expect
+
+    def test_forward_backward_agree(self, tiled_undirected):
+        f = _run(tiled_undirected, seeds=[0], forward=True)
+        b = _run(tiled_undirected, seeds=[0], forward=False)
+        assert np.array_equal(f.reached(), b.reached())

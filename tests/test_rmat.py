@@ -1,0 +1,71 @@
+"""Unit tests for the R-MAT generator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.graphgen.rmat import rmat, rmat_edges
+
+
+class TestShapes:
+    def test_vertex_and_edge_counts(self):
+        el = rmat(10, edge_factor=4, seed=1)
+        assert el.n_vertices == 1024
+        assert el.n_edges == 4096
+
+    def test_ids_in_range(self):
+        el = rmat(8, edge_factor=8, seed=2)
+        el.validate()
+
+    def test_determinism(self):
+        a = rmat(8, edge_factor=4, seed=5)
+        b = rmat(8, edge_factor=4, seed=5)
+        assert np.array_equal(a.src, b.src)
+        assert np.array_equal(a.dst, b.dst)
+
+    def test_seed_changes_graph(self):
+        a = rmat(8, edge_factor=4, seed=5)
+        b = rmat(8, edge_factor=4, seed=6)
+        assert not np.array_equal(a.src, b.src)
+
+    def test_naming(self):
+        assert rmat(8, edge_factor=4).name == "rmat-8-4"
+
+
+class TestSkew:
+    def test_skewed_parameters_produce_hubs(self):
+        skewed = rmat(12, edge_factor=8, a=0.7, b=0.1, c=0.1, d=0.1, seed=3)
+        uniform = rmat(12, edge_factor=8, a=0.25, b=0.25, c=0.25, d=0.25, seed=3)
+        assert skewed.out_degrees().max() > 2 * uniform.out_degrees().max()
+
+    def test_uniform_parameters_flat(self):
+        el = rmat_edges(10, 10000, a=0.25, b=0.25, c=0.25, d=0.25, seed=4)
+        deg = np.bincount(el[0].astype(np.int64), minlength=1024)
+        assert deg.max() < 60  # no heavy hubs
+
+    def test_no_permute_concentrates_low_ids(self):
+        src, _ = rmat_edges(10, 5000, a=0.7, b=0.1, c=0.1, d=0.1, seed=3,
+                            permute=False)
+        # With a-heavy recursion and no relabelling, mass concentrates
+        # at small vertex IDs.
+        assert np.median(src) < 256
+
+
+class TestValidation:
+    def test_bad_scale(self):
+        with pytest.raises(DatasetError):
+            rmat_edges(0, 10)
+        with pytest.raises(DatasetError):
+            rmat_edges(32, 10)
+
+    def test_bad_probs(self):
+        with pytest.raises(DatasetError):
+            rmat_edges(4, 10, a=0.5, b=0.5, c=0.5, d=0.5)
+
+    def test_negative_edges(self):
+        with pytest.raises(DatasetError):
+            rmat_edges(4, -1)
+
+    def test_zero_edges(self):
+        src, dst = rmat_edges(4, 0)
+        assert src.shape == (0,)

@@ -1,0 +1,103 @@
+"""Strongly connected components via FW-BW-Trim, against networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.scc import SCCDriver
+from repro.engine.config import EngineConfig
+from repro.engine.gstore import GStoreEngine
+from repro.errors import AlgorithmError
+from repro.format.edgelist import EdgeList
+from repro.format.tiles import TiledGraph
+
+
+def _driver(el, tile_bits=5):
+    tg = TiledGraph.from_edge_list(el, tile_bits=tile_bits, group_q=2)
+    cfg = EngineConfig(memory_bytes=64 * 1024, segment_bytes=8 * 1024)
+    return SCCDriver(lambda: GStoreEngine(tg, cfg), tg)
+
+
+def _check_against_nx(el, result):
+    g = nx.DiGraph()
+    g.add_nodes_from(range(el.n_vertices))
+    g.add_edges_from(zip(el.src.tolist(), el.dst.tolist()))
+    expect = list(nx.strongly_connected_components(g))
+    assert result.n_components == len(expect)
+    seen = set()
+    for comp in expect:
+        labels = {int(result.labels[v]) for v in comp}
+        assert len(labels) == 1
+        label = labels.pop()
+        assert label not in seen
+        seen.add(label)
+
+
+class TestKnownGraphs:
+    def test_two_cycles_and_bridge(self):
+        el = EdgeList.from_pairs(
+            [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 3)],
+            n_vertices=5,
+            directed=True,
+        )
+        res = _driver(el).run()
+        _check_against_nx(el, res)
+        assert res.n_components == 2
+
+    def test_dag_all_singletons(self):
+        el = EdgeList.from_pairs(
+            [(0, 1), (1, 2), (0, 2), (2, 3)], n_vertices=4, directed=True
+        )
+        res = _driver(el).run()
+        assert res.n_components == 4
+        assert res.trimmed >= 3  # trimming should peel most of a DAG
+
+    def test_single_giant_cycle(self):
+        n = 40
+        el = EdgeList.from_pairs(
+            [(i, (i + 1) % n) for i in range(n)], n_vertices=n, directed=True
+        )
+        res = _driver(el).run()
+        assert res.n_components == 1
+        assert res.pivot_rounds == 1
+
+    def test_random_graph(self, small_directed):
+        res = _driver(small_directed, tile_bits=7).run()
+        _check_against_nx(small_directed, res)
+
+    def test_without_trim_same_result(self):
+        el = EdgeList.from_pairs(
+            [(0, 1), (1, 0), (1, 2), (2, 3), (3, 2)], n_vertices=4, directed=True
+        )
+        with_trim = _driver(el).run(trim=True)
+        without = _driver(el).run(trim=False)
+        assert with_trim.n_components == without.n_components == 2
+        # Trim saves reachability sweeps on graphs with tendrils.
+        assert with_trim.pivot_rounds <= without.pivot_rounds
+
+
+class TestProperties:
+    @given(seed=st.integers(0, 2**31 - 1), n=st.integers(2, 60),
+           m=st.integers(0, 150))
+    @settings(max_examples=15, deadline=None)
+    def test_random_vs_networkx(self, seed, n, m):
+        rng = np.random.default_rng(seed)
+        src = rng.integers(0, n, m).astype(np.uint32)
+        dst = rng.integers(0, n, m).astype(np.uint32)
+        el = EdgeList(src, dst, n, directed=True).deduped().without_self_loops()
+        res = _driver(el, tile_bits=4).run()
+        _check_against_nx(el, res)
+
+
+class TestValidation:
+    def test_undirected_rejected(self, tiled_undirected):
+        with pytest.raises(AlgorithmError):
+            SCCDriver(lambda: None, tiled_undirected)
+
+    def test_stats_collected(self, small_directed):
+        res = _driver(small_directed, tile_bits=7).run()
+        assert res.reachability_stats
+        assert all(s.sim_elapsed >= 0 for s in res.reachability_stats)
+        assert res.component_sizes().sum() == small_directed.n_vertices

@@ -1,0 +1,138 @@
+"""Unit tests for the slide-cache-rewind scheduler state (§VI)."""
+
+import numpy as np
+import pytest
+
+from repro.format.startedge import StartEdgeIndex
+from repro.memory.scr import CachePolicy, SCRScheduler
+from repro.memory.segments import MemoryBudget, TileBuffer
+
+
+@pytest.fixture()
+def start_edge():
+    # Five tiles with 10, 0, 20, 5, 15 edges at 4 bytes per tuple.
+    return StartEdgeIndex.from_counts([10, 0, 20, 5, 15], tuple_bytes=4)
+
+
+def _sched(policy=CachePolicy.SCR, total=400, seg=100):
+    return SCRScheduler(
+        budget=MemoryBudget(total_bytes=total, segment_bytes=seg), policy=policy
+    )
+
+
+def _buf(pos, size, i=0, j=0):
+    return TileBuffer(pos=pos, i=i, j=j, data=b"e" * size)
+
+
+class TestSplitCached:
+    def test_nothing_cached_initially(self, start_edge):
+        s = _sched()
+        cached, fetch = s.split_cached([0, 2, 4], start_edge)
+        assert cached == []
+        assert fetch == [0, 2, 4]
+
+    def test_cached_tiles_split_out(self, start_edge):
+        s = _sched()
+        s.pool.add(_buf(2, 80))
+        cached, fetch = s.split_cached([0, 2, 4], start_edge)
+        assert cached == [2]
+        assert fetch == [0, 4]
+        assert s.stats.cache_hits == 1
+        assert s.stats.bytes_from_cache == 80
+
+    def test_base_policy_never_caches(self, start_edge):
+        s = _sched(policy=CachePolicy.BASE)
+        s.pool.add(_buf(2, 80))  # capacity 0 -> refused anyway
+        cached, fetch = s.split_cached([2], start_edge)
+        assert cached == []
+        assert fetch == [2]
+
+
+class TestSegmentBatches:
+    def test_batches_respect_segment_size(self, start_edge):
+        s = _sched(seg=100)
+        batches = s.segment_batches([0, 2, 3, 4], start_edge)
+        for batch in batches:
+            size = sum(start_edge.byte_extent(p)[1] for p in batch)
+            assert size <= 100 or len(batch) == 1
+
+    def test_all_positions_covered_in_order(self, start_edge):
+        s = _sched(seg=60)
+        batches = s.segment_batches([0, 2, 3, 4], start_edge)
+        flat = [p for b in batches for p in b]
+        assert flat == [0, 2, 3, 4]
+
+    def test_oversized_tile_travels_alone(self):
+        se = StartEdgeIndex.from_counts([100, 1], tuple_bytes=4)
+        s = _sched(seg=50)
+        batches = s.segment_batches([0, 1], se)
+        assert batches[0] == [0]
+
+    def test_empty(self, start_edge):
+        assert _sched().segment_batches([], start_edge) == []
+
+
+class TestOfferAndAnalysis:
+    def _geometry(self):
+        tile_rows = np.array([0, 0, 1, 1, 2])
+        tile_cols = np.array([0, 1, 1, 2, 2])
+        return tile_rows, tile_cols
+
+    def test_unneeded_tiles_not_cached(self):
+        s = _sched()
+        rows, cols = self._geometry()
+        active_next = np.array([False, False, False])
+        s.offer([_buf(0, 10)], rows, cols, active_next, symmetric=True)
+        assert len(s.pool) == 0
+
+    def test_needed_tiles_cached(self):
+        s = _sched()
+        rows, cols = self._geometry()
+        active_next = np.array([True, False, False])
+        s.offer([_buf(0, 10), _buf(2, 10)], rows, cols, active_next, True)
+        assert 0 in s.pool  # row 0 active
+        assert 2 not in s.pool  # rows 1,1 inactive
+
+    def test_analysis_evicts_on_pressure(self):
+        s = _sched(total=220, seg=100)  # pool capacity 20
+        rows, cols = self._geometry()
+        # Tile 0 cached while row 0 was believed active...
+        s.offer([_buf(0, 15)], rows, cols, np.array([True, False, False]), True)
+        assert 0 in s.pool
+        # ...later knowledge says only row 2 is active; offering tile 4
+        # forces the analysis, which evicts tile 0 and admits tile 4.
+        s.offer([_buf(4, 15)], rows, cols, np.array([False, False, True]), True)
+        assert 0 not in s.pool
+        assert 4 in s.pool
+        assert s.stats.analyses >= 1
+        assert s.stats.tiles_evicted >= 1
+
+    def test_drop_when_no_room_even_after_analysis(self):
+        s = _sched(total=210, seg=100)  # pool capacity 10
+        rows, cols = self._geometry()
+        active = np.array([True, True, True])
+        s.offer([_buf(0, 10)], rows, cols, active, True)
+        s.offer([_buf(2, 10)], rows, cols, active, True)  # no space, all needed
+        assert 0 in s.pool
+        assert 2 not in s.pool
+
+    def test_base_policy_offer_is_noop(self):
+        s = _sched(policy=CachePolicy.BASE)
+        rows, cols = self._geometry()
+        s.offer([_buf(0, 10)], rows, cols, np.array([True, True, True]), True)
+        assert len(s.pool) == 0
+
+    def test_end_iteration_analysis(self):
+        s = _sched()
+        rows, cols = self._geometry()
+        s.offer([_buf(0, 10)], rows, cols, np.array([True, False, False]), True)
+        s.end_iteration(rows, cols, np.array([False, False, False]), True)
+        assert len(s.pool) == 0
+
+    def test_cached_buffer_lookup(self):
+        s = _sched()
+        rows, cols = self._geometry()
+        s.offer([_buf(0, 10)], rows, cols, np.array([True, False, False]), True)
+        assert s.cached_buffer(0).nbytes == 10
+        with pytest.raises(KeyError):
+            s.cached_buffer(3)

@@ -1,0 +1,84 @@
+"""Unit tests for the memory budget and cache pool (§VI-A)."""
+
+import pytest
+
+from repro.errors import MemoryBudgetError
+from repro.memory.segments import CachePool, MemoryBudget, TileBuffer
+
+
+def _buf(pos, size):
+    return TileBuffer(pos=pos, i=0, j=0, data=b"x" * size)
+
+
+class TestMemoryBudget:
+    def test_pool_is_remainder(self):
+        b = MemoryBudget(total_bytes=100, segment_bytes=20)
+        assert b.pool_bytes == 60
+
+    def test_too_small_rejected(self):
+        with pytest.raises(MemoryBudgetError):
+            MemoryBudget(total_bytes=30, segment_bytes=20)
+
+    def test_bad_segment(self):
+        with pytest.raises(MemoryBudgetError):
+            MemoryBudget(total_bytes=100, segment_bytes=0)
+
+    def test_exact_two_segments(self):
+        b = MemoryBudget(total_bytes=40, segment_bytes=20)
+        assert b.pool_bytes == 0
+
+
+class TestCachePool:
+    def test_add_and_get(self):
+        p = CachePool(capacity_bytes=100)
+        assert p.add(_buf(1, 40))
+        assert 1 in p
+        assert p.get(1).nbytes == 40
+        assert p.used_bytes == 40
+
+    def test_capacity_enforced(self):
+        p = CachePool(capacity_bytes=100)
+        assert p.add(_buf(1, 60))
+        assert not p.add(_buf(2, 60))
+        assert 2 not in p
+
+    def test_duplicate_add_is_noop(self):
+        p = CachePool(capacity_bytes=100)
+        p.add(_buf(1, 40))
+        assert p.add(_buf(1, 40))
+        assert p.used_bytes == 40
+
+    def test_evict_frees_bytes(self):
+        p = CachePool(capacity_bytes=100)
+        p.add(_buf(1, 40))
+        p.add(_buf(2, 40))
+        freed = p.evict([1])
+        assert freed == 40
+        assert p.used_bytes == 40
+        assert 1 not in p
+
+    def test_evict_missing_is_noop(self):
+        p = CachePool(capacity_bytes=100)
+        assert p.evict([9]) == 0
+
+    def test_fill_after_evict(self):
+        p = CachePool(capacity_bytes=100)
+        p.add(_buf(1, 90))
+        assert not p.add(_buf(2, 20))
+        p.evict([1])
+        assert p.add(_buf(2, 20))
+
+    def test_positions_and_len(self):
+        p = CachePool(capacity_bytes=100)
+        p.add(_buf(3, 10))
+        p.add(_buf(5, 10))
+        assert sorted(p.positions()) == [3, 5]
+        assert len(p) == 2
+
+    def test_clear(self):
+        p = CachePool(capacity_bytes=100)
+        p.add(_buf(1, 10))
+        p.clear()
+        assert len(p) == 0
+        assert p.used_bytes == 0
+        assert p.free_bytes == 100

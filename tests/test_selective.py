@@ -1,0 +1,80 @@
+"""Unit tests for selective tile fetching and request merging (§V-B)."""
+
+import numpy as np
+
+from repro.engine.selective import merge_requests, select_positions, slice_run
+from repro.format.startedge import StartEdgeIndex
+
+
+class TestSelectPositions:
+    def test_all_rows_active_selects_nonempty(self, tiled_undirected):
+        tg = tiled_undirected
+        rows = np.ones(tg.p, dtype=bool)
+        pos = select_positions(tg, rows)
+        counts = tg.tile_edge_counts()
+        assert pos == [p for p in range(tg.n_tiles) if counts[p] > 0]
+
+    def test_no_rows_active_selects_nothing(self, tiled_undirected):
+        rows = np.zeros(tiled_undirected.p, dtype=bool)
+        assert select_positions(tiled_undirected, rows) == []
+
+    def test_single_row_selection_undirected(self, tiled_undirected):
+        tg = tiled_undirected
+        rows = np.zeros(tg.p, dtype=bool)
+        rows[0] = True
+        pos = select_positions(tg, rows)
+        for p in pos:
+            assert tg.tile_rows[p] == 0 or tg.tile_cols[p] == 0
+
+    def test_positions_in_disk_order(self, tiled_undirected):
+        rows = np.ones(tiled_undirected.p, dtype=bool)
+        pos = select_positions(tiled_undirected, rows)
+        assert pos == sorted(pos)
+
+
+class TestMergeRequests:
+    def _idx(self, counts):
+        return StartEdgeIndex.from_counts(counts, tuple_bytes=4)
+
+    def test_adjacent_tiles_merge(self):
+        idx = self._idx([5, 5, 5])
+        reqs = merge_requests([0, 1, 2], idx)
+        assert len(reqs) == 1
+        assert reqs[0].offset == 0
+        assert reqs[0].size == 60
+        assert reqs[0].tag == [0, 1, 2]
+
+    def test_gap_breaks_run(self):
+        idx = self._idx([5, 5, 5])
+        reqs = merge_requests([0, 2], idx)
+        assert len(reqs) == 2
+        assert reqs[0].tag == [0]
+        assert reqs[1].tag == [2]
+
+    def test_empty_tile_gap_is_still_adjacent(self):
+        # An unneeded *empty* tile between two needed ones occupies zero
+        # bytes, so the byte extents remain adjacent and merge.
+        idx = self._idx([5, 0, 5])
+        reqs = merge_requests([0, 2], idx)
+        assert len(reqs) == 1
+        assert reqs[0].tag == [0, 2]
+
+    def test_empty_input(self):
+        idx = self._idx([1])
+        assert merge_requests([], idx) == []
+
+
+class TestSliceRun:
+    def test_slices_back_to_tiles(self):
+        idx = self._idx = StartEdgeIndex.from_counts([2, 3, 1], tuple_bytes=4)
+        payload = bytes(range(24))
+        parts = slice_run(payload, [0, 1, 2], idx)
+        assert [p for p, _ in parts] == [0, 1, 2]
+        assert [len(b) for _, b in parts] == [8, 12, 4]
+        assert b"".join(b for _, b in parts) == payload
+
+    def test_slice_partial_run(self):
+        idx = StartEdgeIndex.from_counts([2, 3], tuple_bytes=4)
+        payload = bytes(range(8, 8 + 12))
+        parts = slice_run(payload, [1], idx)
+        assert parts == [(1, payload)]

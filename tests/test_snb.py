@@ -1,0 +1,83 @@
+"""Unit tests for SNB tuple packing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.format.snb import (
+    decode_tile_edges,
+    encode_tile_edges,
+    pack_tuples,
+    tile_payload_bytes,
+    unpack_tuples,
+)
+
+
+class TestEncodeDecode:
+    def test_paper_example(self):
+        # §IV-B: tile[1,1] has offset (4,4); edge (4,5) stores as (0,1).
+        lsrc, ldst = encode_tile_edges([4], [5], i=1, j=1, tile_bits=2)
+        assert lsrc.tolist() == [0]
+        assert ldst.tolist() == [1]
+        gsrc, gdst = decode_tile_edges(lsrc, ldst, i=1, j=1, tile_bits=2)
+        assert gsrc.tolist() == [4]
+        assert gdst.tolist() == [5]
+
+    def test_roundtrip_random(self):
+        rng = np.random.default_rng(3)
+        i, j, t = 5, 9, 8
+        lo_s, lo_d = i << t, j << t
+        gsrc = (rng.integers(0, 1 << t, 200) + lo_s).astype(np.uint64)
+        gdst = (rng.integers(0, 1 << t, 200) + lo_d).astype(np.uint64)
+        lsrc, ldst = encode_tile_edges(gsrc, gdst, i, j, t)
+        back_s, back_d = decode_tile_edges(lsrc, ldst, i, j, t)
+        assert np.array_equal(back_s, gsrc.astype(np.uint32))
+        assert np.array_equal(back_d, gdst.astype(np.uint32))
+
+    def test_out_of_tile_rejected(self):
+        with pytest.raises(FormatError):
+            encode_tile_edges([4], [5], i=0, j=1, tile_bits=2)
+
+    def test_local_dtype_matches_tile_bits(self):
+        lsrc, _ = encode_tile_edges([4], [5], i=1, j=1, tile_bits=2)
+        assert lsrc.dtype == np.uint8
+        lsrc, _ = encode_tile_edges([0], [0], i=0, j=0, tile_bits=16)
+        assert lsrc.dtype == np.uint16
+
+
+class TestPackUnpack:
+    def test_roundtrip(self):
+        lsrc = np.array([1, 2, 3], dtype=np.uint16)
+        ldst = np.array([4, 5, 6], dtype=np.uint16)
+        buf = pack_tuples(lsrc, ldst, tile_bits=16)
+        assert len(buf) == 12  # 3 edges x 4 bytes
+        s, d = unpack_tuples(buf, tile_bits=16)
+        assert s.tolist() == [1, 2, 3]
+        assert d.tolist() == [4, 5, 6]
+
+    def test_interleaved_layout(self):
+        buf = pack_tuples(
+            np.array([1], np.uint16), np.array([2], np.uint16), 16
+        )
+        inter = np.frombuffer(buf, dtype=np.uint16)
+        assert inter.tolist() == [1, 2]  # source first
+
+    def test_length_mismatch(self):
+        with pytest.raises(FormatError):
+            pack_tuples(np.zeros(2, np.uint16), np.zeros(3, np.uint16), 16)
+
+    def test_odd_buffer_rejected(self):
+        with pytest.raises(FormatError):
+            unpack_tuples(b"\x00\x00\x00\x00\x00\x00", 16)
+
+    def test_empty(self):
+        s, d = unpack_tuples(b"", 16)
+        assert s.shape == (0,)
+
+
+class TestPayloadBytes:
+    def test_paper_sizes(self):
+        # 4 bytes per tuple at the paper's 16-bit tiles.
+        assert tile_payload_bytes(1000, 16) == 4000
+        # 2 bytes per tuple with 8-bit locals.
+        assert tile_payload_bytes(1000, 8) == 2000

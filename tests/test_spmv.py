@@ -1,0 +1,64 @@
+"""SpMV correctness against scipy.sparse (extension algorithm)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.algorithms.spmv import SpMV
+from repro.engine.config import EngineConfig
+from repro.engine.gstore import GStoreEngine
+from repro.errors import AlgorithmError
+
+
+def _adjacency(el, symmetric):
+    if symmetric:
+        canon = el.canonicalized()
+        rows = np.concatenate([canon.src, canon.dst]).astype(np.int64)
+        cols = np.concatenate([canon.dst, canon.src]).astype(np.int64)
+    else:
+        rows = el.src.astype(np.int64)
+        cols = el.dst.astype(np.int64)
+    return sp.coo_matrix(
+        (np.ones(rows.shape[0]), (rows, cols)),
+        shape=(el.n_vertices, el.n_vertices),
+    ).tocsr()
+
+
+def _run(tg, x=None, iterations=1):
+    algo = SpMV(x=x, iterations=iterations)
+    GStoreEngine(
+        tg, EngineConfig(memory_bytes=64 * 1024, segment_bytes=8 * 1024)
+    ).run(algo)
+    return algo
+
+
+class TestCorrectness:
+    def test_undirected_ones(self, small_undirected, tiled_undirected):
+        algo = _run(tiled_undirected)
+        a = _adjacency(small_undirected, symmetric=True)
+        expect = a.T @ np.ones(small_undirected.n_vertices)
+        assert np.allclose(algo.result(), expect)
+
+    def test_directed_random_vector(self, small_directed, tiled_directed):
+        rng = np.random.default_rng(2)
+        x = rng.random(small_directed.n_vertices)
+        algo = _run(tiled_directed, x=x)
+        a = _adjacency(small_directed, symmetric=False)
+        expect = a.T @ x
+        assert np.allclose(algo.result(), expect)
+
+    def test_chained_iterations_power_step(self, small_undirected, tiled_undirected):
+        algo = _run(tiled_undirected, iterations=2)
+        a = _adjacency(small_undirected, symmetric=True)
+        expect = a.T @ (a.T @ np.ones(small_undirected.n_vertices))
+        assert np.allclose(algo.result(), expect)
+
+
+class TestValidation:
+    def test_wrong_shape_rejected(self, tiled_undirected):
+        with pytest.raises(AlgorithmError):
+            SpMV(x=np.ones(3)).setup(tiled_undirected)
+
+    def test_result_is_y(self, tiled_undirected):
+        algo = _run(tiled_undirected)
+        assert algo.result() is algo.y

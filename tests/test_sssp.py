@@ -1,0 +1,98 @@
+"""SSSP correctness against networkx Dijkstra (extension algorithm)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.algorithms.sssp import SSSP, edge_weights
+from repro.engine.config import EngineConfig
+from repro.engine.gstore import GStoreEngine
+from repro.errors import AlgorithmError
+
+
+def _run(tg, root=0):
+    algo = SSSP(root=root)
+    eng = GStoreEngine(
+        tg, EngineConfig(memory_bytes=64 * 1024, segment_bytes=8 * 1024)
+    )
+    stats = eng.run(algo)
+    return algo, stats
+
+
+class TestWeights:
+    def test_deterministic(self):
+        s = np.array([1, 2, 3], dtype=np.uint32)
+        d = np.array([4, 5, 6], dtype=np.uint32)
+        assert np.array_equal(edge_weights(s, d), edge_weights(s, d))
+
+    def test_symmetric_in_endpoints(self):
+        s = np.array([1], dtype=np.uint32)
+        d = np.array([9], dtype=np.uint32)
+        assert edge_weights(s, d)[0] == edge_weights(d, s)[0]
+
+    def test_range(self):
+        rng = np.random.default_rng(0)
+        s = rng.integers(0, 1000, 500).astype(np.uint32)
+        d = rng.integers(0, 1000, 500).astype(np.uint32)
+        w = edge_weights(s, d)
+        assert w.min() >= 1 and w.max() <= 16
+
+
+class TestCorrectness:
+    def _nx_weighted(self, el):
+        g = nx.Graph()
+        g.add_nodes_from(range(el.n_vertices))
+        canon = el.canonicalized()
+        w = edge_weights(canon.src, canon.dst)
+        for u, v, wt in zip(canon.src.tolist(), canon.dst.tolist(), w.tolist()):
+            g.add_edge(u, v, weight=wt)
+        return g
+
+    def test_matches_dijkstra(self, small_undirected, tiled_undirected):
+        algo, _ = _run(tiled_undirected, root=0)
+        g = self._nx_weighted(small_undirected)
+        ref = nx.single_source_dijkstra_path_length(g, 0)
+        dist = algo.result()
+        for v, expect in ref.items():
+            assert dist[v] == pytest.approx(expect)
+
+    def test_unreachable_inf(self, small_undirected, tiled_undirected):
+        algo, _ = _run(tiled_undirected, root=0)
+        g = self._nx_weighted(small_undirected)
+        reach = set(nx.single_source_dijkstra_path_length(g, 0))
+        dist = algo.result()
+        for v in range(tiled_undirected.n_vertices):
+            if v not in reach:
+                assert np.isinf(dist[v])
+
+    def test_sssp_upper_bounded_by_16x_bfs(self, tiled_undirected):
+        # Weights are in [1, 16], so dist <= 16 * hops.
+        from repro.algorithms.bfs import BFS
+
+        bfs = BFS(root=0)
+        GStoreEngine(
+            tiled_undirected,
+            EngineConfig(memory_bytes=64 * 1024, segment_bytes=8 * 1024),
+        ).run(bfs)
+        sp, _ = _run(tiled_undirected, root=0)
+        hops = bfs.result()
+        dist = sp.result()
+        mask = hops != np.iinfo(np.uint32).max
+        assert np.all(dist[mask] <= 16.0 * hops[mask] + 1e-9)
+        assert np.all(dist[mask] >= hops[mask] - 1e-9)
+
+
+class TestMechanics:
+    def test_bad_root(self, tiled_undirected):
+        with pytest.raises(AlgorithmError):
+            SSSP(root=-1).setup(tiled_undirected)
+
+    def test_root_distance_zero(self, tiled_undirected):
+        algo, _ = _run(tiled_undirected, root=3)
+        assert algo.result()[3] == 0.0
+
+    def test_frontier_rows(self, tiled_undirected):
+        algo = SSSP(root=0)
+        algo.setup(tiled_undirected)
+        assert algo.rows_active()[0]
+        assert algo.rows_active().sum() == 1

@@ -1,0 +1,78 @@
+"""Unit tests for the start-edge index file."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.format.startedge import StartEdgeIndex
+
+
+@pytest.fixture()
+def idx():
+    # Tiles with 3, 0, 5, 2 edges; 4-byte SNB tuples.
+    return StartEdgeIndex.from_counts([3, 0, 5, 2], tuple_bytes=4)
+
+
+class TestBasics:
+    def test_counts(self, idx):
+        assert idx.n_tiles == 4
+        assert idx.n_edges == 10
+
+    def test_edge_count(self, idx):
+        assert idx.edge_count(0) == 3
+        assert idx.edge_count(1) == 0
+        assert idx.edge_count(2) == 5
+
+    def test_edge_counts_array(self, idx):
+        assert idx.edge_counts().tolist() == [3, 0, 5, 2]
+
+    def test_byte_extent(self, idx):
+        assert idx.byte_extent(0) == (0, 12)
+        assert idx.byte_extent(1) == (12, 0)
+        assert idx.byte_extent(2) == (12, 20)
+        assert idx.byte_extent(3) == (32, 8)
+
+    def test_run_byte_extent_is_contiguous(self, idx):
+        # A physical group (a run of positions) is one sequential read.
+        off, size = idx.run_byte_extent(0, 3)
+        assert (off, size) == (0, 40)
+        off, size = idx.run_byte_extent(1, 2)
+        assert (off, size) == (12, 20)
+
+    def test_run_extent_bad_range(self, idx):
+        with pytest.raises(FormatError):
+            idx.run_byte_extent(2, 1)
+        with pytest.raises(FormatError):
+            idx.run_byte_extent(0, 9)
+
+    def test_storage_bytes(self, idx):
+        assert idx.storage_bytes() == 8 * 5
+
+
+class TestInvariants:
+    def test_must_start_at_zero(self):
+        with pytest.raises(FormatError):
+            StartEdgeIndex(np.array([1, 2], dtype=np.uint64), 4)
+
+    def test_must_be_monotone(self):
+        with pytest.raises(FormatError):
+            StartEdgeIndex(np.array([0, 5, 3], dtype=np.uint64), 4)
+
+    def test_empty_rejected(self):
+        with pytest.raises(FormatError):
+            StartEdgeIndex(np.array([], dtype=np.uint64), 4)
+
+
+class TestPersistence:
+    def test_roundtrip(self, tmp_path, idx):
+        p = tmp_path / "se.bin"
+        idx.save(p)
+        back = StartEdgeIndex.load(p)
+        assert back.tuple_bytes == 4
+        assert np.array_equal(back.start_edge, idx.start_edge)
+
+    def test_bad_magic(self, tmp_path):
+        p = tmp_path / "x.bin"
+        p.write_bytes(b"ZZZZ" + b"\x00" * 16)
+        with pytest.raises(FormatError):
+            StartEdgeIndex.load(p)

@@ -1,0 +1,56 @@
+"""Unit tests for run statistics accounting."""
+
+import pytest
+
+from repro.engine.stats import IterationStats, RunStats
+
+
+def _iter(k, **kw):
+    base = dict(io_time=1.0, compute_time=0.5, elapsed=1.0, bytes_read=100,
+                bytes_from_cache=50, tiles_fetched=2, tiles_from_cache=1,
+                edges_processed=1000)
+    base.update(kw)
+    return IterationStats(iteration=k, **base)
+
+
+class TestAccumulation:
+    def test_totals(self):
+        rs = RunStats(algorithm="bfs")
+        rs.add_iteration(_iter(0))
+        rs.add_iteration(_iter(1, io_time=2.0, elapsed=2.0))
+        assert rs.n_iterations == 2
+        assert rs.io_time == pytest.approx(3.0)
+        assert rs.sim_elapsed == pytest.approx(3.0)
+        assert rs.bytes_read == 200
+        assert rs.edges_processed == 2000
+
+    def test_mteps(self):
+        rs = RunStats()
+        rs.add_iteration(_iter(0, edges_processed=2_000_000, elapsed=2.0))
+        assert rs.mteps() == pytest.approx(1.0)
+
+    def test_mteps_zero_time(self):
+        assert RunStats().mteps() == 0.0
+
+    def test_cache_hit_fraction(self):
+        rs = RunStats()
+        rs.add_iteration(_iter(0, bytes_read=100, bytes_from_cache=300))
+        assert rs.cache_hit_fraction() == pytest.approx(0.75)
+
+    def test_cache_fraction_no_traffic(self):
+        assert RunStats().cache_hit_fraction() == 0.0
+
+
+class TestSummary:
+    def test_mentions_engine_and_graph(self):
+        rs = RunStats(engine="gstore", algorithm="pagerank", graph="kron")
+        rs.add_iteration(_iter(0))
+        text = rs.summary()
+        assert "gstore/pagerank" in text
+        assert "kron" in text
+
+    def test_written_bytes_shown_when_present(self):
+        rs = RunStats(engine="xstream", algorithm="bfs")
+        rs.bytes_written = 12345
+        rs.add_iteration(_iter(0))
+        assert "written" in rs.summary()

@@ -1,0 +1,45 @@
+"""Unit tests for the dynamic row scheduler."""
+
+import os
+
+from repro.runtime.threads import default_workers, dynamic_row_map
+
+
+class TestDynamicRowMap:
+    def test_preserves_order(self):
+        out = dynamic_row_map(lambda x: x * 2, range(100), workers=4)
+        assert out == [x * 2 for x in range(100)]
+
+    def test_serial_path(self):
+        out = dynamic_row_map(lambda x: x + 1, [1, 2, 3], workers=1)
+        assert out == [2, 3, 4]
+
+    def test_single_item(self):
+        assert dynamic_row_map(str, [7], workers=8) == ["7"]
+
+    def test_empty(self):
+        assert dynamic_row_map(str, [], workers=4) == []
+
+    def test_skewed_work(self):
+        # Mimics skewed tile rows: some items much heavier than others.
+        def work(n):
+            return sum(range(n))
+
+        items = [10, 10_000, 10, 10_000, 10]
+        assert dynamic_row_map(work, items, workers=3) == [work(n) for n in items]
+
+
+class TestDefaultWorkers:
+    def test_env_override(self):
+        old = os.environ.get("REPRO_WORKERS")
+        os.environ["REPRO_WORKERS"] = "3"
+        try:
+            assert default_workers() == 3
+        finally:
+            if old is None:
+                del os.environ["REPRO_WORKERS"]
+            else:
+                os.environ["REPRO_WORKERS"] = old
+
+    def test_positive(self):
+        assert default_workers() >= 1

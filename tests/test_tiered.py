@@ -1,0 +1,123 @@
+"""Tiered SSD+HDD storage (the paper's future work, implemented)."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.format.tiles import TiledGraph
+from repro.graphgen.powerlaw import powerlaw_directed
+from repro.storage.device import DeviceProfile
+from repro.storage.raid import Raid0Array
+from repro.storage.tiered import HDD_PROFILE, TieredArray, plan_hot_groups
+
+
+def _tiered(hot_bytes, ssd_n=1, hdd_n=1):
+    return TieredArray(
+        hot_bytes=hot_bytes,
+        ssd=Raid0Array(n_devices=ssd_n),
+        hdd=Raid0Array(n_devices=hdd_n, profile=HDD_PROFILE),
+    )
+
+
+class TestSplit:
+    def test_hot_extent(self):
+        t = _tiered(1000)
+        hot, cold = t.split([(0, 500)])
+        assert hot == [(0, 500)] and cold == []
+
+    def test_cold_extent(self):
+        t = _tiered(1000)
+        hot, cold = t.split([(1000, 500)])
+        assert hot == [] and cold == [(1000, 500)]
+
+    def test_straddling_extent_split_at_boundary(self):
+        t = _tiered(1000)
+        hot, cold = t.split([(900, 400)])
+        assert hot == [(900, 100)]
+        assert cold == [(1000, 300)]
+
+    def test_negative_hot_bytes(self):
+        with pytest.raises(StorageError):
+            TieredArray(hot_bytes=-1)
+
+
+class TestTiming:
+    def test_hdd_much_slower_for_random_reads(self):
+        hot = _tiered(10**9)  # everything hot
+        cold = _tiered(0)  # everything cold
+        extents = [(i * 100_000, 4096) for i in range(64)]
+        assert cold.read_batch_time(list(extents)) > 5 * hot.read_batch_time(
+            list(extents)
+        )
+
+    def test_tiers_overlap_in_batch(self):
+        t = _tiered(1 << 20)
+        hot_only = _tiered(1 << 30)
+        mixed = [(0, 1 << 20), (1 << 20, 1 << 20)]
+        tm = t.read_batch_time(list(mixed))
+        # Batch completes with the slower tier, not the sum.
+        t2 = _tiered(1 << 20)
+        hdd_only_time = t2.hdd.read_batch_time([(1 << 20, 1 << 20)])
+        assert tm == pytest.approx(
+            max(hdd_only_time, hot_only.ssd.read_batch_time([(0, 1 << 20)])),
+            rel=0.01,
+        )
+
+    def test_sync_sums_tiers(self):
+        t = _tiered(1 << 20)
+        mixed = [(0, 4096), (1 << 20, 4096)]
+        assert t.read_sync_time(mixed) > t.ssd.profile.latency
+
+    def test_stats_aggregate(self):
+        t = _tiered(1000)
+        t.read_batch_time([(0, 500), (2000, 500)])
+        assert t.bytes_read == 1000
+        t.reset_stats()
+        assert t.bytes_read == 0
+
+    def test_writes_go_hot(self):
+        t = _tiered(1000)
+        t.write_batch_time([500])
+        assert t.ssd.bytes_written == 500
+        assert t.hdd.bytes_written == 0
+
+
+class TestHotPlacement:
+    def test_skewed_graph_needs_few_hot_groups(self):
+        # The premise of tiering: with Twitter-like skew, the hot byte
+        # budget concentrates into very few dense groups, so placement at
+        # group granularity is practical.  With half the bytes hot, the
+        # densest groups fit and the chosen set is a small fraction of all
+        # groups while covering ~half the edges.
+        el = powerlaw_directed(1 << 13, 120_000, s_in=1.5, s_out=1.15, seed=5)
+        tg = TiledGraph.from_edge_list(el.deduped(), tile_bits=8, group_q=4)
+        plan = plan_hot_groups(tg, hot_fraction=0.5)
+        assert plan["hot_bytes"] <= tg.storage_bytes() * 0.5
+        assert plan["edge_coverage"] > 0.4  # budget well utilised
+        assert plan["edge_coverage"] > 2 * plan["group_fraction"]
+
+    def test_zero_fraction(self):
+        el = powerlaw_directed(1 << 10, 5000, seed=5)
+        tg = TiledGraph.from_edge_list(el.deduped(), tile_bits=7, group_q=2)
+        plan = plan_hot_groups(tg, hot_fraction=0.0)
+        assert plan["groups"] == []
+        assert plan["edge_coverage"] == 0.0
+
+    def test_full_fraction_covers_everything(self):
+        el = powerlaw_directed(1 << 10, 5000, seed=5)
+        tg = TiledGraph.from_edge_list(el.deduped(), tile_bits=7, group_q=2)
+        plan = plan_hot_groups(tg, hot_fraction=1.0)
+        assert plan["edge_coverage"] == pytest.approx(1.0)
+
+    def test_bad_fraction(self):
+        el = powerlaw_directed(1 << 10, 5000, seed=5)
+        tg = TiledGraph.from_edge_list(el.deduped(), tile_bits=7, group_q=2)
+        with pytest.raises(StorageError):
+            plan_hot_groups(tg, hot_fraction=1.5)
+
+
+class TestHDDProfile:
+    def test_millisecond_seeks(self):
+        assert HDD_PROFILE.latency > 50 * DeviceProfile().latency
+
+    def test_lower_bandwidth(self):
+        assert HDD_PROFILE.read_bandwidth < DeviceProfile().read_bandwidth

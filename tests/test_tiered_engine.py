@@ -1,0 +1,67 @@
+"""Tiered storage wired into the G-Store engine."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.bfs import BFS
+from repro.algorithms.pagerank import PageRank
+from repro.engine.config import EngineConfig
+from repro.engine.gstore import GStoreEngine
+from repro.errors import StorageError
+from repro.storage.tiered import TieredArray
+
+
+def _cfg(**kw):
+    base = dict(memory_bytes=64 * 1024, segment_bytes=8 * 1024)
+    base.update(kw)
+    return EngineConfig(**base)
+
+
+class TestConfig:
+    def test_fraction_validated(self):
+        with pytest.raises(StorageError):
+            _cfg(tiered_hot_fraction=1.5)
+        with pytest.raises(StorageError):
+            _cfg(tiered_hot_fraction=-0.1)
+
+    def test_hdd_count_validated(self):
+        with pytest.raises(StorageError):
+            _cfg(tiered_hot_fraction=0.5, n_hdds=0)
+
+    def test_engine_builds_tiered_array(self, tiled_undirected):
+        eng = GStoreEngine(tiled_undirected, _cfg(tiered_hot_fraction=0.25))
+        assert isinstance(eng.array, TieredArray)
+        assert eng.array.hot_bytes == int(tiled_undirected.storage_bytes() * 0.25)
+
+
+class TestBehaviour:
+    def test_results_identical(self, tiled_undirected):
+        ssd = BFS(root=0)
+        GStoreEngine(tiled_undirected, _cfg()).run(ssd)
+        tiered = BFS(root=0)
+        GStoreEngine(tiled_undirected, _cfg(tiered_hot_fraction=0.25)).run(tiered)
+        assert np.array_equal(ssd.result(), tiered.result())
+
+    def test_tiered_slower_than_ssd(self, tiled_undirected):
+        a = GStoreEngine(tiled_undirected, _cfg()).run(
+            PageRank(max_iterations=3, tolerance=0.0)
+        )
+        b = GStoreEngine(tiled_undirected, _cfg(tiered_hot_fraction=0.25)).run(
+            PageRank(max_iterations=3, tolerance=0.0)
+        )
+        assert b.io_time > a.io_time
+
+    def test_all_hot_equals_pure_ssd_bytes(self, tiled_undirected):
+        eng = GStoreEngine(tiled_undirected, _cfg(tiered_hot_fraction=1.0))
+        stats = eng.run(PageRank(max_iterations=2, tolerance=0.0))
+        assert eng.array.hdd.bytes_read == 0
+        assert eng.array.ssd.bytes_read == stats.bytes_read
+
+    def test_bigger_hot_fraction_not_slower(self, tiled_undirected):
+        times = []
+        for f in [0.0, 0.5, 1.0]:
+            stats = GStoreEngine(
+                tiled_undirected, _cfg(tiered_hot_fraction=f)
+            ).run(PageRank(max_iterations=2, tolerance=0.0))
+            times.append(stats.io_time)
+        assert times[2] <= times[1] <= times[0]

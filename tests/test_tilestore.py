@@ -1,0 +1,71 @@
+"""Unit tests for TileStore extent reads."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.file import TileStore
+
+
+class TestMemoryBacked:
+    def test_read(self):
+        s = TileStore(data=b"hello world")
+        assert s.read(0, 5) == b"hello"
+        assert s.read(6, 5) == b"world"
+
+    def test_numpy_payload(self):
+        arr = np.arange(4, dtype=np.uint16)
+        s = TileStore(data=arr)
+        assert s.size == 8
+        assert np.frombuffer(s.read(2, 4), dtype=np.uint16).tolist() == [1, 2]
+
+    def test_out_of_range(self):
+        s = TileStore(data=b"abc")
+        with pytest.raises(StorageError):
+            s.read(1, 3)
+        with pytest.raises(StorageError):
+            s.read(-1, 1)
+
+
+class TestFileBacked:
+    def test_read(self, tmp_path):
+        p = tmp_path / "payload.bin"
+        p.write_bytes(b"0123456789")
+        with TileStore(path=p) as s:
+            assert s.size == 10
+            assert s.read(3, 4) == b"3456"
+            assert s.read(0, 0) == b""
+
+    def test_reads_after_close_reopen(self, tmp_path):
+        p = tmp_path / "payload.bin"
+        p.write_bytes(b"abcdef")
+        s = TileStore(path=p)
+        assert s.read(0, 3) == b"abc"
+        s.close()
+        assert s.read(3, 3) == b"def"
+        s.close()
+
+
+class TestConstruction:
+    def test_exactly_one_source(self, tmp_path):
+        with pytest.raises(StorageError):
+            TileStore()
+        p = tmp_path / "x"
+        p.write_bytes(b"z")
+        with pytest.raises(StorageError):
+            TileStore(path=p, data=b"z")
+
+    def test_from_tiled_graph_resident(self, tiled_undirected):
+        s = TileStore.from_tiled_graph(tiled_undirected)
+        assert s.size == tiled_undirected.payload.nbytes
+
+    def test_from_tiled_graph_external(self, tmp_path, tiled_undirected):
+        from repro.format.tiles import TiledGraph
+
+        d = tmp_path / "g"
+        tiled_undirected.save(d)
+        ext = TiledGraph.load(d, resident=False)
+        s = TileStore.from_tiled_graph(ext)
+        off, size = ext.start_edge.byte_extent(0)
+        if size:
+            assert len(s.read(off, size)) == size

@@ -1,0 +1,45 @@
+"""Unit tests for the simulated clock and wall timer."""
+
+import pytest
+
+from repro.util.timer import SimClock, WallTimer
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_advance(self):
+        c = SimClock()
+        c.advance(1.5)
+        c.advance(0.5)
+        assert c.now == 2.0
+
+    def test_advance_returns_new_time(self):
+        assert SimClock().advance(3.0) == 3.0
+
+    def test_no_backwards(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-1.0)
+
+    def test_reset(self):
+        c = SimClock()
+        c.advance(5.0)
+        c.reset()
+        assert c.now == 0.0
+
+    def test_custom_start(self):
+        assert SimClock(10.0).now == 10.0
+
+
+class TestWallTimer:
+    def test_measures_something(self):
+        with WallTimer() as t:
+            sum(range(10000))
+        assert t.elapsed > 0
+
+    def test_elapsed_stable_after_exit(self):
+        with WallTimer() as t:
+            pass
+        e = t.elapsed
+        assert t.elapsed == e

@@ -1,0 +1,86 @@
+"""The developer tools: API-docs generator and CLI fsck/report paths."""
+
+import importlib.util
+import os
+import sys
+
+import pytest
+
+from repro.cli import main
+
+
+def _load_gen_api_docs():
+    path = os.path.join(os.path.dirname(__file__), "..", "tools", "gen_api_docs.py")
+    spec = importlib.util.spec_from_file_location("gen_api_docs", path)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+class TestGenApiDocs:
+    @pytest.fixture(scope="class")
+    def tool(self):
+        return _load_gen_api_docs()
+
+    def test_iter_modules_covers_package(self, tool):
+        mods = tool.iter_modules("repro")
+        assert "repro.engine.gstore" in mods
+        assert "repro.format.tiles" in mods
+        assert not any(m.endswith("__main__") for m in mods)
+
+    def test_document_module(self, tool):
+        lines = tool.document_module("repro.format.snb")
+        text = "\n".join(lines)
+        assert "repro.format.snb" in text
+        assert "encode_tile_edges" in text
+
+    def test_generates_file(self, tool, tmp_path):
+        out = tmp_path / "API.md"
+        assert tool.main(str(out)) == 0
+        body = out.read_text()
+        assert "# API reference" in body
+        assert "class `TiledGraph`" in body
+
+    def test_first_paragraph_handles_missing(self, tool):
+        assert "undocumented" in tool._first_paragraph(None)
+        assert tool._first_paragraph("One.\n\nTwo.") == "One."
+
+
+class TestCliFsck:
+    def test_clean_graph_exit_zero(self, tmp_path, tiled_undirected, capsys):
+        d = tmp_path / "g"
+        tiled_undirected.save(d)
+        assert main(["fsck", str(d)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_corrupt_graph_exit_one(self, tmp_path, tiled_undirected, capsys):
+        d = tmp_path / "g"
+        tiled_undirected.save(d)
+        import json
+
+        info_path = d / "info.json"
+        info = json.loads(info_path.read_text())
+        info["n_edges"] = 1
+        info_path.write_text(json.dumps(info))
+        assert main(["fsck", str(d), "--shallow"]) == 1
+        assert "CORRUPT" in capsys.readouterr().out
+
+
+class TestCliReport:
+    def test_report_to_stdout(self, tmp_path, capsys):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "fig13_scr.txt").write_text("== Figure 13 ==\nx | 1\n")
+        assert main(["report", "--results", str(results)]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 13" in out
+
+    def test_report_to_file(self, tmp_path, capsys):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "table2_sizes.txt").write_text("== Table II ==\n")
+        out_file = tmp_path / "R.md"
+        assert main(
+            ["report", "--results", str(results), "--out", str(out_file)]
+        ) == 0
+        assert "Table II" in out_file.read_text()

@@ -1,0 +1,86 @@
+"""Triangle counting and clustering coefficient against networkx."""
+
+import networkx as nx
+import pytest
+
+from repro.algorithms.triangles import (
+    adjacency_matrix,
+    clustering_coefficient,
+    triangle_count,
+)
+from repro.format.edgelist import EdgeList
+from repro.format.tiles import TiledGraph
+
+
+def _nx_graph(el):
+    g = nx.Graph()
+    g.add_nodes_from(range(el.n_vertices))
+    canon = el.canonicalized()
+    g.add_edges_from(zip(canon.src.tolist(), canon.dst.tolist()))
+    return g
+
+
+class TestTriangleCount:
+    def test_single_triangle(self):
+        el = EdgeList.from_pairs(
+            [(0, 1), (1, 2), (2, 0)], n_vertices=3, directed=False
+        )
+        tg = TiledGraph.from_edge_list(el, tile_bits=1, group_q=1)
+        assert triangle_count(tg) == 1
+
+    def test_complete_k5(self):
+        pairs = [(i, j) for i in range(5) for j in range(i + 1, 5)]
+        el = EdgeList.from_pairs(pairs, n_vertices=5, directed=False)
+        tg = TiledGraph.from_edge_list(el, tile_bits=2, group_q=1)
+        assert triangle_count(tg) == 10  # C(5,3)
+
+    def test_triangle_free(self):
+        el = EdgeList.from_pairs(
+            [(0, 1), (1, 2), (2, 3)], n_vertices=4, directed=False
+        )
+        tg = TiledGraph.from_edge_list(el, tile_bits=1, group_q=1)
+        assert triangle_count(tg) == 0
+
+    def test_matches_networkx_random(self, small_undirected, tiled_undirected):
+        expect = sum(nx.triangles(_nx_graph(small_undirected)).values()) // 3
+        assert triangle_count(tiled_undirected) == expect
+
+    def test_directed_collapsed(self, small_directed, tiled_directed):
+        g = nx.Graph()
+        g.add_nodes_from(range(small_directed.n_vertices))
+        g.add_edges_from(
+            zip(small_directed.src.tolist(), small_directed.dst.tolist())
+        )
+        expect = sum(nx.triangles(g).values()) // 3
+        assert triangle_count(tiled_directed) == expect
+
+    def test_empty_graph(self):
+        el = EdgeList.from_pairs([], n_vertices=4, directed=False)
+        tg = TiledGraph.from_edge_list(el, tile_bits=1, group_q=1)
+        assert triangle_count(tg) == 0
+
+
+class TestClustering:
+    def test_triangle_is_fully_clustered(self):
+        el = EdgeList.from_pairs(
+            [(0, 1), (1, 2), (2, 0)], n_vertices=3, directed=False
+        )
+        tg = TiledGraph.from_edge_list(el, tile_bits=1, group_q=1)
+        assert clustering_coefficient(tg) == pytest.approx(1.0)
+
+    def test_matches_networkx_transitivity(self, small_undirected, tiled_undirected):
+        expect = nx.transitivity(_nx_graph(small_undirected))
+        assert clustering_coefficient(tiled_undirected) == pytest.approx(expect)
+
+    def test_empty(self):
+        el = EdgeList.from_pairs([], n_vertices=3, directed=False)
+        tg = TiledGraph.from_edge_list(el, tile_bits=1, group_q=1)
+        assert clustering_coefficient(tg) == 0.0
+
+
+class TestAdjacency:
+    def test_symmetric_binary(self, tiled_undirected):
+        a = adjacency_matrix(tiled_undirected)
+        assert (a != a.T).nnz == 0
+        assert a.data.max() == 1
+        assert a.diagonal().sum() == 0

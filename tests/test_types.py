@@ -1,0 +1,52 @@
+"""Unit tests for dtype selection and the paper's byte-size conventions."""
+
+import numpy as np
+import pytest
+
+from repro.types import edge_tuple_bytes, local_dtype, vertex_bytes_needed
+
+
+class TestLocalDtype:
+    def test_paper_default_is_two_bytes(self):
+        # §IV-B: "we allocate two bytes to represent each vertex".
+        assert local_dtype(16) == np.dtype(np.uint16)
+
+    def test_byte_boundaries(self):
+        assert local_dtype(8) == np.dtype(np.uint8)
+        assert local_dtype(9) == np.dtype(np.uint16)
+        assert local_dtype(17) == np.dtype(np.uint32)
+        assert local_dtype(32) == np.dtype(np.uint32)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            local_dtype(0)
+        with pytest.raises(ValueError):
+            local_dtype(33)
+
+
+class TestEdgeTupleBytes:
+    def test_paper_default_is_four_bytes(self):
+        # §IV-B: "four bytes for an edge tuple".
+        assert edge_tuple_bytes(16) == 4
+
+    def test_small_tiles(self):
+        assert edge_tuple_bytes(8) == 2
+
+    def test_wide_tiles(self):
+        assert edge_tuple_bytes(20) == 8
+
+
+class TestVertexBytesNeeded:
+    def test_below_2_32(self):
+        assert vertex_bytes_needed(2**28) == 4
+
+    def test_at_2_32(self):
+        assert vertex_bytes_needed(2**32) == 4
+
+    def test_above_2_32(self):
+        # Kron-33-16: "a vertex ID needs 8 bytes of storage".
+        assert vertex_bytes_needed(2**33) == 8
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            vertex_bytes_needed(0)
