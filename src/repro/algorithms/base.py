@@ -67,6 +67,79 @@ class TileAlgorithm(abc.ABC):
         """Finish the iteration; return True to run another."""
 
     # ------------------------------------------------------------------ #
+    # Fused batch execution (§VI-B)
+    # ------------------------------------------------------------------ #
+
+    #: True for algorithms implementing the two-phase fused kernels
+    #: (:meth:`batch_partial` + :meth:`apply_partial`); the engine may then
+    #: shard the partial phase across worker threads.
+    supports_fused: bool = False
+
+    def process_batch(self, views: "list[TileView]") -> int:
+        """Process one fetched segment's tiles as a single batch.
+
+        Fused algorithms concatenate each shard's tiles into one kernel
+        pass (one gather, one mask, one scatter per shard); the default
+        falls back to the per-tile loop, so every algorithm works under
+        batch execution.  The serial path walks exactly the shards that
+        :func:`~repro.runtime.threads.execute_batch` would distribute over
+        workers, committing partials in shard order — which is what makes
+        fused results bit-identical at any worker count.  Returns the
+        number of edges examined.
+        """
+        if not views:
+            return 0
+        if self.supports_fused:
+            edges = 0
+            for shard in self.batch_shards(views):
+                edges += self.apply_partial(self.batch_partial(shard))
+            return edges
+        edges = 0
+        for tv in views:
+            edges += self.process_tile(tv)
+        return edges
+
+    def batch_shards(self, views: "list[TileView]") -> "list[list[TileView]]":
+        """Split a batch into the shards fused execution operates on.
+
+        The default is a small number of contiguous, edge-balanced chunks —
+        coarse enough that each fused kernel call amortises its setup over
+        many tiles, fine enough for the dynamic worker pool to balance
+        skewed rows (§VI-B).  The structure must depend only on the batch
+        contents — never the worker count — because partials are committed
+        in shard order and that order defines the floating-point
+        accumulation sequence.  Algorithms wanting row-aligned shards can
+        override with :func:`~repro.runtime.threads.row_run_shards`.
+        """
+        from repro.runtime.threads import chunk_by_edges
+
+        return chunk_by_edges(views)
+
+    def batch_partial(self, views: "list[TileView]"):
+        """Phase 1 of fused execution: the heavy, *read-only* pass.
+
+        Runs all per-edge work (gathers, masks, per-shard reductions) over
+        the concatenated shard without mutating algorithm state, so the
+        engine can execute several shards concurrently (NumPy releases the
+        GIL).  Returns an opaque partial for :meth:`apply_partial`.
+        """
+        raise NotImplementedError(f"{type(self).__name__} has no fused kernel")
+
+    def apply_partial(self, partial) -> int:
+        """Phase 2 of fused execution: commit a partial's updates.
+
+        Called from the engine thread, in shard order, so every update
+        lands in a deterministic sequence: results are bit-identical across
+        worker counts and run-to-run.  Kernels whose updates commute
+        exactly (constant writes, integer decrements, idempotent minima —
+        BFS, CC, k-core) additionally match the per-tile loop bit-for-bit;
+        float-accumulating kernels (PageRank, SpMV) match it up to
+        floating-point reassociation, the standard parallel-reduction
+        contract.  Returns the number of edges the partial covered.
+        """
+        raise NotImplementedError(f"{type(self).__name__} has no fused kernel")
+
+    # ------------------------------------------------------------------ #
     # Activity predicates (selective I/O + proactive caching)
     # ------------------------------------------------------------------ #
 

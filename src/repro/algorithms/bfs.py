@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.algorithms.base import TileAlgorithm
 from repro.errors import AlgorithmError
-from repro.format.tiles import TileView
+from repro.format.tiles import TileView, concat_global_edges
 from repro.types import INF_DEPTH
 
 
@@ -41,6 +41,10 @@ class BFS(TileAlgorithm):
         self.level = 0
         self.traversed_edges = 0
         self._frontier_count = 0
+        #: Per-tile/batch arrays of vertices assigned depth ``level + 1``
+        #: this iteration; their union is the new frontier, counted in
+        #: ``end_iteration`` without an O(|V|) scan.
+        self._new_targets: "list[np.ndarray]" = []
 
     def _setup(self) -> None:
         g = self._graph()
@@ -53,33 +57,72 @@ class BFS(TileAlgorithm):
         self.level = 0
         self.traversed_edges = 0
         self._frontier_count = 1
+        self._new_targets = []
 
     # ------------------------------------------------------------------ #
 
+    def begin_iteration(self, iteration: int) -> None:
+        super().begin_iteration(iteration)
+        self._new_targets = []
+
     def process_tile(self, tv: TileView) -> int:
+        return self.apply_partial(self.batch_partial([tv]))
+
+    def end_iteration(self, iteration: int) -> bool:
+        # The union of the per-tile discovery targets is exactly the set of
+        # vertices assigned ``level + 1`` (every such vertex is reported by
+        # whichever tile saw it unvisited first), so the frontier count
+        # needs no full depth-array scan.
+        if self._new_targets:
+            new_frontier = int(np.unique(np.concatenate(self._new_targets)).size)
+        else:
+            new_frontier = 0
+        self._new_targets = []
+        self.level += 1
+        self._frontier_count = new_frontier
+        return new_frontier > 0
+
+    # ------------------------------------------------------------------ #
+    # Fused batch kernel
+    # ------------------------------------------------------------------ #
+
+    supports_fused = True
+
+    def batch_partial(self, views):
+        """One gather + one mask over the concatenated batch (read-only).
+
+        The discovery sets are snapshot-independent: whatever interleaving
+        of tiles and batches runs, a vertex ends at ``level + 1`` iff some
+        tile reports it, so per-tile, fused, and sharded execution converge
+        on bit-identical depth arrays.
+        """
         depth = self.depth
         level = np.uint32(self.level)
-        nxt = np.uint32(self.level + 1)
-        gsrc, gdst = tv.global_edges()
+        gsrc, gdst = concat_global_edges(views)
         src_d = depth[gsrc]
         dst_d = depth[gdst]
         fwd = (src_d == level) & (dst_d == INF_DEPTH)
-        if fwd.any():
-            depth[gdst[fwd]] = nxt
+        fwd_targets = gdst[fwd]
+        bwd_targets = None
         if self.symmetric:
             # Algorithm 1 lines 8-10: the stored upper triangle also carries
             # the mirrored edge, so expand the frontier backwards too.
             bwd = (dst_d == level) & (src_d == INF_DEPTH)
-            if bwd.any():
-                depth[gsrc[bwd]] = nxt
-        self.traversed_edges += tv.n_edges
-        return tv.n_edges
+            bwd_targets = gsrc[bwd]
+        edges = int(gsrc.shape[0])
+        return fwd_targets, bwd_targets, edges
 
-    def end_iteration(self, iteration: int) -> bool:
-        new_frontier = int(np.count_nonzero(self.depth == np.uint32(self.level + 1)))
-        self.level += 1
-        self._frontier_count = new_frontier
-        return new_frontier > 0
+    def apply_partial(self, partial) -> int:
+        fwd_targets, bwd_targets, edges = partial
+        nxt = np.uint32(self.level + 1)
+        if fwd_targets.size:
+            self.depth[fwd_targets] = nxt
+            self._new_targets.append(fwd_targets)
+        if bwd_targets is not None and bwd_targets.size:
+            self.depth[bwd_targets] = nxt
+            self._new_targets.append(bwd_targets)
+        self.traversed_edges += edges
+        return edges
 
     # ------------------------------------------------------------------ #
 

@@ -19,7 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.algorithms.base import TileAlgorithm
-from repro.format.tiles import TileView
+from repro.format.tiles import TileView, concat_global_edges
 
 
 class ConnectedComponents(TileAlgorithm):
@@ -54,13 +54,36 @@ class ConnectedComponents(TileAlgorithm):
         self._prev = self.comp.copy()
 
     def process_tile(self, tv: TileView) -> int:
-        comp = self.comp
-        gsrc, gdst = tv.global_edges()
+        return self.apply_partial(self.batch_partial([tv]))
+
+    # ------------------------------------------------------------------ #
+    # Fused batch kernel
+    # ------------------------------------------------------------------ #
+
+    supports_fused = True
+
+    def batch_partial(self, views):
+        """Gather propagation candidates from the iteration-start snapshot.
+
+        Labels are gathered from ``self._prev`` (frozen in
+        ``begin_iteration``), so the min-scatter commutes: any tile order,
+        batch shape, or shard interleaving produces the same labels —
+        elementwise ``min`` over the candidates.  Convergence still takes
+        very few iterations because the pointer-jumping compress between
+        iterations does the long-range hops.
+        """
+        prev = self._prev
+        gsrc, gdst = concat_global_edges(views)
         # WCC treats every edge as undirected: propagate the minimum label
         # both ways regardless of the stored orientation.
-        np.minimum.at(comp, gdst, comp[gsrc])
-        np.minimum.at(comp, gsrc, comp[gdst])
-        return tv.n_edges
+        idx = np.concatenate([gdst, gsrc])
+        vals = np.concatenate([prev[gsrc], prev[gdst]])
+        return idx, vals, int(gsrc.shape[0])
+
+    def apply_partial(self, partial) -> int:
+        idx, vals, edges = partial
+        np.minimum.at(self.comp, idx, vals)
+        return edges
 
     def end_iteration(self, iteration: int) -> bool:
         # Pointer-jumping compress: follow labels to their representatives.

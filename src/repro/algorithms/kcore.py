@@ -18,7 +18,7 @@ import numpy as np
 
 from repro.algorithms.base import TileAlgorithm
 from repro.errors import AlgorithmError
-from repro.format.tiles import TileView
+from repro.format.tiles import TileView, concat_global_edges
 
 
 class KCore(TileAlgorithm):
@@ -62,20 +62,45 @@ class KCore(TileAlgorithm):
         self.active &= ~self._removed_now
 
     def process_tile(self, tv: TileView) -> int:
+        return self.apply_partial(self.batch_partial([tv]))
+
+    # ------------------------------------------------------------------ #
+    # Fused batch kernel
+    # ------------------------------------------------------------------ #
+
+    supports_fused = True
+
+    def batch_partial(self, views):
+        """One fused mask pass over the batch (read-only).
+
+        ``removed``/``active`` are frozen for the iteration and decrements
+        are integer sums, so the result is independent of tile order,
+        batching, and sharding.
+        """
         removed = self._removed_now
         active = self.active
-        deg = self.residual_degree
-        gsrc, gdst = tv.global_edges()
+        gsrc, gdst = concat_global_edges(views)
         # An edge whose one endpoint was just peeled lowers the residual
         # degree of the surviving endpoint.  Duplicate decrements from
         # multi-edges are consistent (degrees counted them too).
+        hits = []
         hit = removed[gsrc] & active[gdst]
         if hit.any():
-            np.subtract.at(deg, gdst[hit], 1)
+            hits.append(gdst[hit])
         hit = removed[gdst] & active[gsrc]
         if hit.any():
-            np.subtract.at(deg, gsrc[hit], 1)
-        return tv.n_edges
+            hits.append(gsrc[hit])
+        targets = np.concatenate(hits) if hits else None
+        return targets, int(gsrc.shape[0])
+
+    def apply_partial(self, partial) -> int:
+        targets, edges = partial
+        if targets is not None:
+            deg = self.residual_degree
+            deg -= np.bincount(
+                targets.astype(np.int64), minlength=deg.shape[0]
+            ).astype(deg.dtype)
+        return edges
 
     def end_iteration(self, iteration: int) -> bool:
         self.iterations_run = iteration + 1

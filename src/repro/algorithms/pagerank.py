@@ -16,7 +16,30 @@ from __future__ import annotations
 import numpy as np
 
 from repro.algorithms.base import TileAlgorithm
-from repro.format.tiles import TileView
+from repro.format.tiles import TileView, concat_global_edges
+from repro.runtime.threads import chunk_by_edges
+
+#: Fixed shard quantum for the float-accumulating fused kernels.  The
+#: shard structure must not depend on the worker count — partials are
+#: computed per shard and committed in shard order, so a fixed quantum
+#: makes results bit-identical at any parallelism (and run to run), while
+#: still exposing enough shards to keep a thread pool busy.
+FLOAT_SHARD_QUANTUM = 8
+
+
+def scatter_sums(
+    indices: np.ndarray, values: np.ndarray, n: int
+) -> np.ndarray:
+    """Dense per-vertex sums ``out[v] = sum(values[indices == v])``, fused.
+
+    One ``np.bincount`` over the concatenated batch replaces thousands of
+    per-tile bincounts — the "one gather, one scatter per batch" kernel
+    shape.  Accumulation order is the edge order of ``indices``, which is
+    deterministic for a fixed shard structure.
+    """
+    return np.bincount(
+        indices.astype(np.int64), weights=values, minlength=n
+    )
 
 
 class PageRank(TileAlgorithm):
@@ -108,6 +131,38 @@ class PageRank(TileAlgorithm):
                 minlength=i_hi - i_lo,
             )
         return tv.n_edges
+
+    # ------------------------------------------------------------------ #
+    # Fused batch kernel
+    # ------------------------------------------------------------------ #
+
+    supports_fused = True
+
+    def batch_shards(self, views):
+        # Each partial is a dense |V|-vector, so the shard count must stay
+        # small and fixed — a worker-independent quantum keeps accumulation
+        # order (and hence results) identical at any parallelism.
+        return chunk_by_edges(views, FLOAT_SHARD_QUANTUM)
+
+    def batch_partial(self, views):
+        """Read-only fused pass: one weighted bincount over the whole shard.
+
+        ``self._contrib`` is frozen for the iteration, so this is safe to
+        run concurrently with other shards."""
+        g = self._graph()
+        n = g.n_vertices
+        contrib = self._contrib
+        gsrc, gdst = concat_global_edges(views)
+        part = scatter_sums(gdst, contrib[gsrc], n)
+        if self.symmetric:
+            # The stored upper triangle carries the mirrored edge too.
+            part += scatter_sums(gsrc, contrib[gdst], n)
+        return part, int(gsrc.shape[0])
+
+    def apply_partial(self, partial) -> int:
+        part, edges = partial
+        self._acc += part
+        return edges
 
     def end_iteration(self, iteration: int) -> bool:
         n = self.rank.shape[0]

@@ -12,8 +12,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.algorithms.base import TileAlgorithm
+from repro.algorithms.pagerank import FLOAT_SHARD_QUANTUM, scatter_sums
 from repro.errors import AlgorithmError
-from repro.format.tiles import TileView
+from repro.format.tiles import TileView, concat_global_edges
+from repro.runtime.threads import chunk_by_edges
 
 
 class SpMV(TileAlgorithm):
@@ -67,6 +69,33 @@ class SpMV(TileAlgorithm):
                 minlength=i_hi - i_lo,
             )
         return tv.n_edges
+
+    # ------------------------------------------------------------------ #
+    # Fused batch kernel
+    # ------------------------------------------------------------------ #
+
+    supports_fused = True
+
+    def batch_shards(self, views):
+        # Dense |V|-vector partials: fixed, worker-independent shard quantum
+        # (see PageRank.batch_shards).
+        return chunk_by_edges(views, FLOAT_SHARD_QUANTUM)
+
+    def batch_partial(self, views):
+        """Read-only fused pass (``self.x`` is frozen within an iteration)."""
+        g = self._graph()
+        n = g.n_vertices
+        x = self.x
+        gsrc, gdst = concat_global_edges(views)
+        part = scatter_sums(gdst, x[gsrc], n)
+        if self.symmetric:
+            part += scatter_sums(gsrc, x[gdst], n)
+        return part, int(gsrc.shape[0])
+
+    def apply_partial(self, partial) -> int:
+        part, edges = partial
+        self.y += part
+        return edges
 
     def end_iteration(self, iteration: int) -> bool:
         self.iterations_run = iteration + 1

@@ -46,6 +46,13 @@ class EngineConfig:
     overlap: bool = True
     #: Compute-time model for the pipelined timeline.
     cost_model: CostModel = field(default_factory=CostModel)
+    #: Route kernels through the fused batch API (one vectorised pass per
+    #: fetched segment); False forces the per-tile reference loop.
+    fused: bool = True
+    #: Worker threads for row-parallel batch execution (§VI-B dynamic row
+    #: scheduling).  1 keeps execution single-threaded and deterministic;
+    #: results are bit-identical at any worker count.
+    workers: int = 1
     #: Safety valve on iteration count (algorithms have their own limits).
     max_iterations: int = 100_000
     #: When set, the graph lives on tiered storage: this fraction of the
@@ -63,6 +70,8 @@ class EngineConfig:
             )
         if self.n_ssds < 1:
             raise StorageError("need at least one SSD")
+        if self.workers < 1:
+            raise StorageError("need at least one worker thread")
         if self.tiered_hot_fraction is not None and not (
             0.0 <= self.tiered_hot_fraction <= 1.0
         ):

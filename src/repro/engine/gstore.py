@@ -8,7 +8,10 @@ Per iteration the engine:
    I/O (§VI-D);
 3. *slides*: the remaining tiles stream through two segments — batch
    ``k+1`` is fetched by AIO while batch ``k`` computes, so each pipeline
-   step costs ``max(io, compute)`` (§VI-B);
+   step costs ``max(io, compute)`` (§VI-B).  Compute runs through the
+   fused batch layer: a whole segment's tiles execute as one vectorised
+   kernel pass, optionally sharded row-parallel over worker threads with
+   a deterministic merge (``config.fused`` / ``config.workers``);
 4. *caches*: processed tiles enter the pool under the proactive rules;
    when the pool fills, analysis evicts tiles the next iteration will not
    need (§VI-C).
@@ -21,9 +24,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.algorithms.base import TileAlgorithm
 from repro.engine.config import EngineConfig
-from repro.engine.selective import merge_requests, select_positions, slice_run
+from repro.engine.selective import merge_requests, select_positions
 from repro.engine.stats import IterationStats, RunStats
 from repro.errors import AlgorithmError
 from repro.format.tiles import TiledGraph
@@ -35,13 +40,26 @@ from repro.storage.file import TileStore
 from repro.storage.raid import Raid0Array
 from repro.util.timer import SimClock, WallTimer
 from repro.runtime.pipeline import PipelineTimeline
+from repro.runtime.threads import execute_batch
+
+
+#: Run-level views are split into this many equal-edge pieces per batch —
+#: enough shards for the thread pool (and one piece per shard keeps the
+#: single-view concat fast path) while staying worker-independent.
+_RUN_SPLIT = 8
 
 
 @dataclass
 class _Batch:
-    """One fetched segment: decoded tile buffers + modeled compute time."""
+    """One fetched segment: pool buffers plus the views compute consumes.
+
+    ``views`` is run-level (one view per merged extent) on the fused path
+    and per-tile otherwise; ``buffers`` is always per-tile — the cache
+    pool's granularity (§V-B: tiles are the indivisible unit).
+    """
 
     buffers: "list[TileBuffer]"
+    views: list
     edges: int
 
 
@@ -82,6 +100,11 @@ class GStoreEngine:
             store=self.store, array=self.array, clock=self.clock,
             mode=self.config.io_mode,
         )
+        # Memoized rewind batch: all-active algorithms rewind the same tile
+        # set every iteration, so the merged run-level views (and their
+        # concatenated global-ID arrays) are built once and reused.
+        self._rewind_key: "list[int] | None" = None
+        self._rewind_merged: "list | None" = None
 
     # ------------------------------------------------------------------ #
 
@@ -89,6 +112,8 @@ class GStoreEngine:
         """Execute the algorithm to convergence; returns full statistics."""
         cfg = self.config
         g = self.graph
+        self._rewind_key = None
+        self._rewind_merged = None
         with WallTimer() as wall:
             algorithm.setup(g)
             budget = MemoryBudget(
@@ -126,6 +151,10 @@ class GStoreEngine:
         stats.metadata_bytes = algorithm.metadata_bytes()
         stats.extra["scr"] = scr.stats
         stats.extra["pipeline"] = timeline.totals
+        stats.extra["execution"] = {
+            "fused": cfg.fused and algorithm.supports_fused,
+            "workers": cfg.workers,
+        }
         return stats
 
     # ------------------------------------------------------------------ #
@@ -153,13 +182,11 @@ class GStoreEngine:
 
         # --- Rewind: consume the pool before any I/O (§VI-D). ---
         if cached:
-            edges = 0
-            rewound: "list[TileBuffer]" = []
-            for pos in cached:
-                buf = scr.cached_buffer(pos)
-                tv = g.view_from_bytes(pos, buf.data)
-                edges += algorithm.process_tile(tv)
-                rewound.append(buf)
+            rewound = scr.cached_buffers(cached)
+            views = self._rewind_views(algorithm, cached, rewound)
+            edges = execute_batch(
+                algorithm, views, fused=cfg.fused, workers=cfg.workers
+            )
             t = cfg.cost_model.compute_time(
                 algorithm.name, edges * algorithm.direction_passes, len(cached)
             )
@@ -167,11 +194,12 @@ class GStoreEngine:
             it.compute_time += t
             it.tiles_from_cache += len(cached)
             it.edges_processed += edges
-            cached_bytes = 0
-            for pos in cached:
-                _, size = g.start_edge.byte_extent(pos)
-                cached_bytes += size
-            it.bytes_from_cache += cached_bytes
+            se = g.start_edge.start_edge
+            pos_arr = np.asarray(cached, dtype=np.int64)
+            it.bytes_from_cache += (
+                int((se[pos_arr + 1] - se[pos_arr]).sum())
+                * g.start_edge.tuple_bytes
+            )
             # Rewound tiles stay pooled only if still useful; re-offer them.
             scr.offer(
                 rewound,
@@ -199,16 +227,36 @@ class GStoreEngine:
             it.compute_time += comp_t
 
             buffers: "list[TileBuffer]" = []
+            views = []
             edges = 0
-            for ev in events:
-                for pos, raw in slice_run(ev.data, ev.tag, g.start_edge):
-                    i = int(g.tile_rows[pos])
-                    j = int(g.tile_cols[pos])
+            tb = g.start_edge.tuple_bytes
+            if cfg.fused and algorithm.supports_fused:
+                # Batch-level decode: one widened global-ID buffer for the
+                # whole poll, one run-level view per extent — the fused
+                # kernels concatenate everything anyway, so per-tile
+                # decoding here would be pure overhead.
+                views, tiles = g.decode_batch(
+                    [(ev.tag, ev.data) for ev in events]
+                )
+                views = g.split_run_views(views, _RUN_SPLIT)
+                for pos, i, j, raw in tiles:
                     buffers.append(TileBuffer(pos=pos, i=i, j=j, data=raw))
-                    edges += g.start_edge.edge_count(pos)
+            else:
+                for ev in events:
+                    # One vectorised decode per merged extent: a single
+                    # frombuffer + global-ID widening covers the whole run.
+                    for tv, raw in g.decode_run(ev.tag, ev.data):
+                        buffers.append(
+                            TileBuffer(
+                                pos=tv.pos, i=tv.i, j=tv.j, data=raw, view=tv
+                            )
+                        )
+                        views.append(tv)
+            for ev in events:
+                edges += len(ev.data) // tb
             it.bytes_read += sum(r.size for r in requests)
             it.tiles_fetched += len(buffers)
-            prev = _Batch(buffers=buffers, edges=edges)
+            prev = _Batch(buffers=buffers, views=views, edges=edges)
 
         # Pipeline drain: the last fetched batch computes with no I/O.
         if prev is not None:
@@ -219,6 +267,48 @@ class GStoreEngine:
         it.elapsed = timeline.totals.elapsed - elapsed_before
         return it
 
+    def _rewind_views(self, algorithm: TileAlgorithm, cached, rewound):
+        """Views for the rewind batch.
+
+        Per-tile views are decoded lazily, once per pooled buffer.  On the
+        fused path the whole rewind set is additionally merged into a few
+        run-level views over one concatenated global-ID array — memoized on
+        the cached-position list, so all-active algorithms (which rewind an
+        identical set every iteration) pay the merge exactly once.  The
+        merged pieces concatenate back to the per-tile edge order, and
+        their count is worker-independent, so the determinism contract of
+        the fused layer is unchanged.
+        """
+        g = self.graph
+        fused = self.config.fused and algorithm.supports_fused
+        if not fused:
+            # Per-tile execution: decode pooled tiles lazily, once per
+            # buffer lifetime.
+            misses = [buf for buf in rewound if buf.view is None]
+            if misses:
+                decoded = g.decode_tiles(
+                    [buf.pos for buf in misses], [buf.data for buf in misses]
+                )
+                for buf, tv in zip(misses, decoded):
+                    buf.view = tv
+            return [buf.view for buf in rewound]
+        if cached == self._rewind_key:
+            return self._rewind_merged
+        # Fused path: the pooled buffers are zero-copy slices of the
+        # immutable tile store, so the rewind set can be re-merged into
+        # byte-adjacent extents and batch-decoded straight off the backing
+        # buffer — no per-tile views, no simulated I/O (the pool already
+        # paid for these bytes).
+        runs = merge_requests(cached, g.start_edge)
+        views, _ = g.decode_batch(
+            [(r.tag, self.store.read(r.offset, r.size)) for r in runs],
+            with_tiles=False,
+        )
+        views = g.split_run_views(views, _RUN_SPLIT)
+        self._rewind_key = list(cached)
+        self._rewind_merged = views
+        return views
+
     def _process_batch(
         self,
         algorithm: TileAlgorithm,
@@ -227,10 +317,10 @@ class GStoreEngine:
         it: IterationStats,
     ) -> float:
         g = self.graph
-        edges = 0
-        for buf in batch.buffers:
-            tv = g.view_from_bytes(buf.pos, buf.data)
-            edges += algorithm.process_tile(tv)
+        cfg = self.config
+        edges = execute_batch(
+            algorithm, batch.views, fused=cfg.fused, workers=cfg.workers
+        )
         it.edges_processed += edges
         scr.offer(
             batch.buffers,

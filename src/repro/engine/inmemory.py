@@ -19,15 +19,29 @@ from repro.engine.selective import select_positions
 from repro.engine.stats import IterationStats, RunStats
 from repro.errors import AlgorithmError
 from repro.format.tiles import TiledGraph
+from repro.runtime.threads import execute_batch
 from repro.util.timer import WallTimer
 
 
 class InMemoryEngine:
-    """Run tile algorithms over a resident :class:`TiledGraph`."""
+    """Run tile algorithms over a resident :class:`TiledGraph`.
+
+    ``fused``/``workers`` select the execution path exactly like
+    :class:`~repro.engine.config.EngineConfig` does for the semi-external
+    engine; fused results are bit-identical across worker counts (see
+    :meth:`~repro.algorithms.base.TileAlgorithm.apply_partial` for the
+    exact-vs-reassociation contract against the per-tile loop).
+    """
 
     name = "inmemory"
 
-    def __init__(self, graph: TiledGraph, max_iterations: int = 100_000):
+    def __init__(
+        self,
+        graph: TiledGraph,
+        max_iterations: int = 100_000,
+        fused: bool = True,
+        workers: int = 1,
+    ):
         if graph.payload is None:
             raise AlgorithmError(
                 "InMemoryEngine needs a resident payload; load with "
@@ -35,6 +49,8 @@ class InMemoryEngine:
             )
         self.graph = graph
         self.max_iterations = int(max_iterations)
+        self.fused = bool(fused)
+        self.workers = int(workers)
 
     def run(self, algorithm: TileAlgorithm) -> RunStats:
         """Execute to convergence; only wall-clock time is meaningful."""
@@ -49,14 +65,18 @@ class InMemoryEngine:
                 algorithm.begin_iteration(iteration)
                 it = IterationStats(iteration=iteration)
                 with WallTimer() as t:
-                    for pos in select_positions(
-                        g,
-                        algorithm.rows_active(),
-                        algorithm.cols_active(),
-                        algorithm.tile_mask(g.tile_rows, g.tile_cols),
-                    ):
-                        tv = g.tile_view(pos)
-                        it.edges_processed += algorithm.process_tile(tv)
+                    views = [
+                        g.tile_view(pos)
+                        for pos in select_positions(
+                            g,
+                            algorithm.rows_active(),
+                            algorithm.cols_active(),
+                            algorithm.tile_mask(g.tile_rows, g.tile_cols),
+                        )
+                    ]
+                    it.edges_processed += execute_batch(
+                        algorithm, views, fused=self.fused, workers=self.workers
+                    )
                 it.compute_time = t.elapsed
                 it.elapsed = t.elapsed
                 stats.add_iteration(it)

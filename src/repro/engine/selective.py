@@ -50,34 +50,40 @@ def merge_requests(
     The request ``tag`` carries the list of tile positions the extent
     covers, so completions can be sliced back into tiles.
     """
+    if not positions:
+        return []
+    se = start_edge.start_edge
+    tb = start_edge.tuple_bytes
+    pos_arr = np.asarray(positions, dtype=np.int64)
+    starts = se[pos_arr].astype(np.int64) * tb
+    ends = se[pos_arr + 1].astype(np.int64) * tb
+    # A run breaks wherever the next tile does not begin where the
+    # previous one ended (vectorised over the whole position list).
+    breaks = np.nonzero(starts[1:] != ends[:-1])[0] + 1
+    bounds = [0, *breaks.tolist(), len(positions)]
     requests: "list[IORequest]" = []
-    run: "list[int]" = []
-    run_off = 0
-    run_end = 0
-    for pos in positions:
-        off, size = start_edge.byte_extent(pos)
-        if run and off == run_end:
-            run.append(pos)
-            run_end += size
-        else:
-            if run:
-                requests.append(
-                    IORequest(offset=run_off, size=run_end - run_off, tag=list(run))
-                )
-            run = [pos]
-            run_off = off
-            run_end = off + size
-    if run:
+    for a, b in zip(bounds[:-1], bounds[1:]):
         requests.append(
-            IORequest(offset=run_off, size=run_end - run_off, tag=list(run))
+            IORequest(
+                offset=int(starts[a]),
+                size=int(ends[b - 1] - starts[a]),
+                tag=list(positions[a:b]),
+            )
         )
     return requests
 
 
 def slice_run(
-    data: bytes, positions: "list[int]", start_edge: StartEdgeIndex
-) -> "list[tuple[int, bytes]]":
-    """Split a merged extent's payload back into per-tile byte strings."""
+    data: "bytes | memoryview", positions: "list[int]", start_edge: StartEdgeIndex
+) -> "list[tuple[int, bytes | memoryview]]":
+    """Split a merged extent's payload back into per-tile buffers.
+
+    Slicing is zero-copy end to end: the extent arrives as a
+    ``memoryview`` over the store's backing buffer (or mmap), each tile's
+    slice is a sub-view of it, and ``view_from_bytes`` decodes that slice
+    with ``np.frombuffer`` — no intermediate ``bytes`` materialise anywhere
+    on the fetch path.
+    """
     out = []
     base, _ = start_edge.byte_extent(positions[0])
     for pos in positions:

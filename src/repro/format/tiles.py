@@ -40,13 +40,18 @@ _INFO_FILE = "info.json"
 _DEGREE_FILE = "degrees.npz"
 
 
-@dataclass
+@dataclass(slots=True)
 class TileView:
     """A decoded tile: local endpoint arrays plus the tile's grid position.
 
     ``lsrc``/``ldst`` are the stored (SNB) local IDs; :meth:`global_edges`
     re-attaches the tile's most-significant bits.  When the graph was built
     with ``snb=False`` the "locals" are already global and the bases are 0.
+
+    The global-ID arrays are computed lazily and cached, so kernels (and
+    the fused batch layer, which concatenates them across a whole segment)
+    can call :meth:`global_edges` repeatedly without re-allocating.  Callers
+    must treat the returned arrays as read-only.
     """
 
     i: int
@@ -56,6 +61,8 @@ class TileView:
     src_base: int
     dst_base: int
     pos: int
+    _gsrc: "np.ndarray | None" = field(default=None, repr=False, compare=False)
+    _gdst: "np.ndarray | None" = field(default=None, repr=False, compare=False)
 
     @property
     def n_edges(self) -> int:
@@ -66,14 +73,72 @@ class TileView:
         return self.lsrc.nbytes + self.ldst.nbytes
 
     def global_edges(self) -> tuple[np.ndarray, np.ndarray]:
-        """Endpoint IDs in the global vertex space (uint32 arrays)."""
-        gsrc = self.lsrc.astype(VERTEX_DTYPE)
-        gdst = self.ldst.astype(VERTEX_DTYPE)
-        if self.src_base:
-            gsrc += VERTEX_DTYPE(self.src_base)
-        if self.dst_base:
-            gdst += VERTEX_DTYPE(self.dst_base)
-        return gsrc, gdst
+        """Endpoint IDs in the global vertex space (cached uint32 arrays)."""
+        if self._gsrc is None:
+            gsrc = self.lsrc.astype(VERTEX_DTYPE)
+            gdst = self.ldst.astype(VERTEX_DTYPE)
+            if self.src_base:
+                gsrc += VERTEX_DTYPE(self.src_base)
+            if self.dst_base:
+                gdst += VERTEX_DTYPE(self.dst_base)
+            self._gsrc = gsrc
+            self._gdst = gdst
+        return self._gsrc, self._gdst
+
+
+def concat_global_edges(views: "list[TileView]") -> tuple[np.ndarray, np.ndarray]:
+    """Concatenated global endpoint arrays for a batch of tiles.
+
+    Edge order is the batch's tile order — the same sequence a per-tile
+    loop over ``views`` would visit, which is what keeps the fused kernels
+    bit-identical to per-tile execution.
+    """
+    if not views:
+        empty = np.empty(0, dtype=VERTEX_DTYPE)
+        return empty, empty
+    if len(views) == 1:
+        return views[0].global_edges()
+    # Fast path: tiles decoded through decode_run() (or already globalised
+    # once) carry cached global-ID arrays — pure concatenation, no math.
+    srcs: "list[np.ndarray]" = []
+    dsts: "list[np.ndarray]" = []
+    for tv in views:
+        if tv._gsrc is None:
+            break
+        srcs.append(tv._gsrc)
+        dsts.append(tv._gdst)
+    else:
+        return np.concatenate(srcs), np.concatenate(dsts)
+    # Vectorised across the batch: one concatenate + widen per endpoint and
+    # a single repeated-base add, instead of per-view astype/add calls —
+    # the per-tile Python overhead is exactly what fusion exists to remove.
+    gsrc = np.concatenate([tv.lsrc for tv in views]).astype(VERTEX_DTYPE)
+    gdst = np.concatenate([tv.ldst for tv in views]).astype(VERTEX_DTYPE)
+    n = len(views)
+    counts = np.fromiter(
+        (tv.lsrc.shape[0] for tv in views), dtype=np.intp, count=n
+    )
+    src_base = np.fromiter(
+        (tv.src_base for tv in views), dtype=VERTEX_DTYPE, count=n
+    )
+    dst_base = np.fromiter(
+        (tv.dst_base for tv in views), dtype=VERTEX_DTYPE, count=n
+    )
+    if src_base.any():
+        gsrc += np.repeat(src_base, counts)
+    if dst_base.any():
+        gdst += np.repeat(dst_base, counts)
+    # Seed every view's cache with its slice of the concatenated arrays so
+    # repeated batches over the same views (rewind iterations) hit the
+    # pure-concatenation fast path from now on.  Shards within a batch are
+    # disjoint view sets, so this is safe under the thread-pool too.
+    bounds = np.cumsum(counts).tolist()
+    lo = 0
+    for tv, hi in zip(views, bounds):
+        tv._gsrc = gsrc[lo:hi]
+        tv._gdst = gdst[lo:hi]
+        lo = hi
+    return gsrc, gdst
 
 
 @dataclass
@@ -100,6 +165,7 @@ class TiledGraph:
     #: tile position whether or not the payload itself is resident.
     edge_weights: "np.ndarray | None" = None
     _pos_grid: "np.ndarray | None" = field(default=None, repr=False)
+    _payload_dt: "np.dtype | None" = field(default=None, repr=False)
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -282,13 +348,12 @@ class TiledGraph:
 
     def view_from_bytes(self, pos: int, buf: "bytes | memoryview | np.ndarray") -> TileView:
         """Decode a tile from raw bytes fetched off the storage substrate."""
-        dt = self.payload_dtype()
-        inter = (
-            np.frombuffer(buf, dtype=dt)
-            if isinstance(buf, (bytes, bytearray, memoryview))
-            else np.asarray(buf, dtype=dt)
-        )
-        expect = 2 * self.start_edge.edge_count(pos)
+        if isinstance(buf, np.ndarray):
+            inter = np.asarray(buf, dtype=self.payload_dtype())
+        else:
+            inter = np.frombuffer(buf, dtype=self.payload_dtype())
+        se = self.start_edge.start_edge
+        expect = 2 * int(se[pos + 1] - se[pos])
         if inter.shape[0] != expect:
             raise FormatError(
                 f"tile {pos}: expected {expect} local IDs, got {inter.shape[0]}"
@@ -300,6 +365,231 @@ class TiledGraph:
             i=i, j=j, lsrc=inter[0::2], ldst=inter[1::2],
             src_base=sb, dst_base=db, pos=pos,
         )
+
+    def decode_run(
+        self, positions: "list[int]", data: "bytes | memoryview"
+    ) -> "list[tuple[TileView, memoryview]]":
+        """Decode a byte-adjacent run of tiles with one vectorised pass.
+
+        ``data`` is the merged extent covering ``positions`` (as produced by
+        :func:`~repro.engine.selective.merge_requests`).  One
+        ``np.frombuffer`` interprets the whole extent; each tile's local
+        arrays are strided views into it, and — for SNB storage — the
+        global IDs of the *entire run* are materialised with a single
+        widening add whose per-tile slices seed every view's
+        :meth:`TileView.global_edges` cache.  Returns ``(view, raw)`` pairs
+        where ``raw`` is the tile's zero-copy byte slice of ``data`` (what
+        the cache pool retains).
+        """
+        arr = np.frombuffer(data, dtype=self.payload_dtype())
+        se = self.start_edge.start_edge
+        tb = self.start_edge.tuple_bytes
+        pos_arr = np.asarray(positions, dtype=np.int64)
+        starts = se[pos_arr].astype(np.int64)
+        ends = se[pos_arr + 1].astype(np.int64)
+        base = int(starts[0])
+        rows = self.tile_rows
+        cols = self.tile_cols
+        tbits = self.tile_bits
+        snb = self.snb
+        if snb:
+            sb = (rows[pos_arr].astype(np.int64) << tbits).astype(VERTEX_DTYPE)
+            db = (cols[pos_arr].astype(np.int64) << tbits).astype(VERTEX_DTYPE)
+            garr = arr.astype(VERTEX_DTYPE)
+            # Interleaved [src, dst, src, dst, ...] base pattern, one add.
+            garr += np.repeat(
+                np.stack([sb, db], axis=1), ends - starts, axis=0
+            ).reshape(-1)
+        else:
+            garr = arr if arr.dtype == VERTEX_DTYPE else arr.astype(VERTEX_DTYPE)
+        out: "list[tuple[TileView, memoryview]]" = []
+        starts_l = (starts - base).tolist()
+        ends_l = (ends - base).tolist()
+        rows_l = rows[pos_arr].tolist()
+        cols_l = cols[pos_arr].tolist()
+        if snb:
+            sb_l = sb.tolist()
+            db_l = db.tolist()
+        else:
+            sb_l = db_l = [0] * len(positions)
+        append = out.append
+        for pos, lo, hi, i, j, sbase, dbase in zip(
+            positions, starts_l, ends_l, rows_l, cols_l, sb_l, db_l
+        ):
+            e0, e1 = 2 * lo, 2 * hi
+            chunk = arr[e0:e1]
+            g = garr[e0:e1]
+            tv = TileView(
+                i=i, j=j, lsrc=chunk[0::2], ldst=chunk[1::2],
+                src_base=sbase, dst_base=dbase, pos=pos,
+                _gsrc=g[0::2], _gdst=g[1::2],
+            )
+            append((tv, data[lo * tb : hi * tb]))
+        return out
+
+    @staticmethod
+    def split_run_views(
+        views: "list[TileView]", pieces: int
+    ) -> "list[TileView]":
+        """Split run-level views into ≈``pieces`` equal-edge sub-views.
+
+        Zero-copy (every sub-array is a slice) and deterministic — the
+        split depends only on the views, never on the worker count — so a
+        batch that merged into a single extent still yields enough shards
+        for the thread pool without changing the fused determinism
+        contract.  Sub-views concatenate back to the original edge order.
+        """
+        if len(views) >= pieces:
+            return views
+        total = sum(tv.lsrc.shape[0] for tv in views)
+        if total == 0:
+            return views
+        out: "list[TileView]" = []
+        for tv in views:
+            n = int(tv.lsrc.shape[0])
+            k = max(1, (pieces * n + total - 1) // total)
+            if k == 1:
+                out.append(tv)
+                continue
+            bounds = [n * t // k for t in range(k + 1)]
+            for a, b in zip(bounds[:-1], bounds[1:]):
+                if a == b:
+                    continue
+                out.append(
+                    TileView(
+                        i=tv.i, j=tv.j,
+                        lsrc=tv.lsrc[a:b], ldst=tv.ldst[a:b],
+                        src_base=tv.src_base, dst_base=tv.dst_base,
+                        pos=tv.pos,
+                        _gsrc=None if tv._gsrc is None else tv._gsrc[a:b],
+                        _gdst=None if tv._gdst is None else tv._gdst[a:b],
+                    )
+                )
+        return out
+
+    def decode_tiles(
+        self, positions: "list[int]", datas: "list[bytes | memoryview]"
+    ) -> "list[TileView]":
+        """Per-tile decode of arbitrary (not necessarily adjacent) tiles.
+
+        Used for rewind sets: the tiles come out of the cache pool as
+        separate buffers, so unlike :meth:`decode_run` there is one
+        ``frombuffer`` per tile — but the grid/base arithmetic is still
+        vectorised across the whole set, which is most of the per-tile
+        cost of :meth:`view_from_bytes`.
+        """
+        if not positions:
+            return []
+        dt = self.payload_dtype()
+        pos_arr = np.asarray(positions, dtype=np.int64)
+        rows_l = self.tile_rows[pos_arr].tolist()
+        cols_l = self.tile_cols[pos_arr].tolist()
+        tbits = self.tile_bits
+        if self.snb:
+            sb_l = (self.tile_rows[pos_arr] << tbits).tolist()
+            db_l = (self.tile_cols[pos_arr] << tbits).tolist()
+        else:
+            sb_l = db_l = [0] * len(positions)
+        out: "list[TileView]" = []
+        append = out.append
+        frombuffer = np.frombuffer
+        for pos, data, i, j, sb, db in zip(
+            positions, datas, rows_l, cols_l, sb_l, db_l
+        ):
+            arr = frombuffer(data, dtype=dt)
+            append(
+                TileView(
+                    i=i, j=j, lsrc=arr[0::2], ldst=arr[1::2],
+                    src_base=sb, dst_base=db, pos=pos,
+                )
+            )
+        return out
+
+    def decode_batch(
+        self,
+        runs: "list[tuple[list[int], bytes | memoryview]]",
+        with_tiles: bool = True,
+    ) -> "tuple[list[TileView], list[tuple[int, int, int, bytes | memoryview]]]":
+        """Decode one poll's worth of merged extents for the fused path.
+
+        The fused kernels never look at per-tile boundaries — they
+        concatenate everything in a batch anyway — so this emits one
+        *run-level* :class:`TileView` per extent whose arrays span the whole
+        run, plus per-tile ``(pos, i, j, raw)`` records for the cache pool.
+        The global IDs of the entire batch are materialised into a single
+        contiguous buffer with one widening pass and one base add; the
+        per-extent cost is just a ``frombuffer`` and two strided slices.
+
+        Run-level views carry the first tile's grid coords and bases for
+        repr purposes only; their ``_gsrc``/``_gdst`` caches are always
+        pre-seeded, so :meth:`TileView.global_edges` never recomputes from
+        the (run-spanning) locals.  ``with_tiles=False`` skips the per-tile
+        records — the rewind path decodes straight off the backing store
+        and needs no new pool entries.
+        """
+        if not runs:
+            return [], []
+        dt = self.payload_dtype()
+        se = self.start_edge.start_edge
+        tb = self.start_edge.tuple_bytes
+        rows = self.tile_rows
+        cols = self.tile_cols
+        tbits = self.tile_bits
+        snb = self.snb
+        pos_lists = [np.asarray(r[0], dtype=np.int64) for r in runs]
+        all_pos = pos_lists[0] if len(runs) == 1 else np.concatenate(pos_lists)
+        starts = se[all_pos].astype(np.int64)
+        ends = se[all_pos + 1].astype(np.int64)
+        counts = ends - starts
+        arrs = [np.frombuffer(d, dtype=dt) for _, d in runs]
+        garr = np.empty(2 * int(counts.sum()), dtype=VERTEX_DTYPE)
+        off = 0
+        for a in arrs:
+            garr[off : off + a.shape[0]] = a  # fused copy + widen per extent
+            off += a.shape[0]
+        if snb:
+            sb = (rows[all_pos].astype(np.int64) << tbits).astype(VERTEX_DTYPE)
+            db = (cols[all_pos].astype(np.int64) << tbits).astype(VERTEX_DTYPE)
+            garr += np.repeat(
+                np.stack([sb, db], axis=1), counts, axis=0
+            ).reshape(-1)
+        run_lengths = [int(p.shape[0]) for p in pos_lists]
+        rl = np.asarray(run_lengths, dtype=np.int64)
+        first = np.cumsum(rl) - rl
+        if with_tiles:
+            base = np.repeat(starts[first], rl)
+            lob = ((starts - base) * tb).tolist()
+            hib = ((ends - base) * tb).tolist()
+            rows_l = rows[all_pos].tolist()
+            cols_l = cols[all_pos].tolist()
+        else:
+            rows_l = rows[all_pos[first]].tolist()
+            cols_l = cols[all_pos[first]].tolist()
+        run_views: "list[TileView]" = []
+        tiles: "list[tuple[int, int, int, bytes | memoryview]]" = []
+        append = tiles.append
+        g_off = 0
+        k = 0
+        for r_idx, ((positions, data), arr) in enumerate(zip(runs, arrs)):
+            m = arr.shape[0]
+            g = garr[g_off : g_off + m]
+            g_off += m
+            i0 = rows_l[k] if with_tiles else rows_l[r_idx]
+            j0 = cols_l[k] if with_tiles else cols_l[r_idx]
+            run_views.append(
+                TileView(
+                    i=i0, j=j0, lsrc=arr[0::2], ldst=arr[1::2],
+                    src_base=(i0 << tbits) if snb else 0,
+                    dst_base=(j0 << tbits) if snb else 0,
+                    pos=int(positions[0]),
+                    _gsrc=g[0::2], _gdst=g[1::2],
+                )
+            )
+            if with_tiles:
+                for pos in positions:
+                    append((pos, rows_l[k], cols_l[k], data[lob[k] : hib[k]]))
+                    k += 1
+        return run_views, tiles
 
     def tile_weights(self, pos: int) -> "np.ndarray | None":
         """Per-edge weights of the tile at disk position ``pos``.
@@ -315,7 +605,11 @@ class TiledGraph:
         return self.edge_weights[lo:hi]
 
     def payload_dtype(self) -> np.dtype:
-        return local_dtype(self.tile_bits) if self.snb else np.dtype(VERTEX_DTYPE)
+        dt = self._payload_dt
+        if dt is None:
+            dt = local_dtype(self.tile_bits) if self.snb else np.dtype(VERTEX_DTYPE)
+            self._payload_dt = dt
+        return dt
 
     def iter_tiles(self):
         """Yield all tiles in disk order (requires resident payload)."""

@@ -70,15 +70,17 @@ class SCRScheduler:
         """
         if self.policy is not CachePolicy.SCR or len(self.pool) == 0:
             return [], list(needed_positions)
-        cached, to_fetch = [], []
-        for pos in needed_positions:
-            if pos in self.pool:
-                cached.append(pos)
-                self.stats.cache_hits += 1
-                _, size = start_edge.byte_extent(pos)
-                self.stats.bytes_from_cache += size
-            else:
-                to_fetch.append(pos)
+        arr = np.asarray(needed_positions, dtype=np.int64)
+        mask = np.isin(arr, self.pool.position_array(), assume_unique=True)
+        hit = arr[mask]
+        cached = hit.tolist()
+        to_fetch = arr[~mask].tolist()
+        if cached:
+            se = start_edge.start_edge
+            self.stats.cache_hits += len(cached)
+            self.stats.bytes_from_cache += (
+                int((se[hit + 1] - se[hit]).sum()) * start_edge.tuple_bytes
+            )
         return cached, to_fetch
 
     def cached_buffer(self, pos: int) -> TileBuffer:
@@ -86,6 +88,10 @@ class SCRScheduler:
         if buf is None:
             raise KeyError(f"tile {pos} not cached")
         return buf
+
+    def cached_buffers(self, positions: "list[int]") -> "list[TileBuffer]":
+        """Resident buffers for an iteration's rewind set, one batch lookup."""
+        return self.pool.get_many(positions)
 
     # ------------------------------------------------------------------ #
     # Slide
@@ -105,8 +111,12 @@ class SCRScheduler:
         cur: "list[int]" = []
         cur_bytes = 0
         cap = self.budget.segment_bytes
-        for pos in positions:
-            _, size = start_edge.byte_extent(pos)
+        if not positions:
+            return batches
+        se = start_edge.start_edge
+        arr = np.asarray(positions, dtype=np.int64)
+        sizes = ((se[arr + 1] - se[arr]) * start_edge.tuple_bytes).tolist()
+        for pos, size in zip(positions, sizes):
             if cur and cur_bytes + size > cap:
                 batches.append(cur)
                 cur = []
@@ -143,11 +153,15 @@ class SCRScheduler:
             tile_rows, tile_cols, row_active_next, symmetric,
             col_active=col_active_next,
         )
+        # One fancy-index over the batch instead of a numpy scalar lookup
+        # per tile; pool membership goes through the dict directly.
+        keep_l = keep_now[[buf.pos for buf in buffers]].tolist()
+        resident = self.pool._tiles
         analysed = False
-        for buf in buffers:
-            if not keep_now[buf.pos]:
+        for buf, keep in zip(buffers, keep_l):
+            if not keep:
                 continue
-            if buf.pos in self.pool:
+            if buf.pos in resident:
                 continue  # re-offered rewind tile, already resident
             if self.pool.add(buf):
                 self.stats.tiles_cached += 1

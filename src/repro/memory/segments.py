@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.errors import MemoryBudgetError
 
 
@@ -44,12 +46,23 @@ class MemoryBudget:
 
 @dataclass
 class TileBuffer:
-    """A cached tile: its disk position, grid coords, and payload bytes."""
+    """A cached tile: its disk position, grid coords, and payload buffer.
+
+    ``data`` is typically a zero-copy ``memoryview`` over the tile store's
+    backing buffer; holding it pins the underlying pages, which is exactly
+    the cache-pool semantics (the bytes stay addressable without a copy).
+
+    ``view`` optionally carries the decoded :class:`TileView` so tiles that
+    stay pooled across iterations (rewind, §VI-D) are decoded exactly once;
+    the decoded arrays are views over ``data``, so they cost no extra
+    payload memory.
+    """
 
     pos: int
     i: int
     j: int
-    data: bytes
+    data: "bytes | memoryview"
+    view: "object | None" = None
 
     @property
     def nbytes(self) -> int:
@@ -87,8 +100,19 @@ class CachePool:
     def get(self, pos: int) -> "TileBuffer | None":
         return self._tiles.get(pos)
 
+    def get_many(self, positions: "list[int]") -> "list[TileBuffer]":
+        """Resident buffers for ``positions`` (KeyError on a miss)."""
+        tiles = self._tiles
+        return [tiles[pos] for pos in positions]
+
     def positions(self) -> "list[int]":
         return list(self._tiles.keys())
+
+    def position_array(self) -> "np.ndarray":
+        """Resident positions as an int64 array (for vectorised membership)."""
+        return np.fromiter(
+            self._tiles.keys(), dtype=np.int64, count=len(self._tiles)
+        )
 
     def add(self, buf: TileBuffer) -> bool:
         """Insert a tile; returns False when it does not fit."""

@@ -44,3 +44,85 @@ def dynamic_row_map(
         return [fn(x) for x in items]
     with ThreadPoolExecutor(max_workers=workers) as pool:
         return list(pool.map(fn, items))
+
+
+def row_run_shards(views: "Sequence[T]") -> "list[list[T]]":
+    """Split a batch of tile views into row runs (consecutive same-row tiles).
+
+    The shards concatenate back to the original sequence, so applying
+    per-shard partials in shard order reproduces the batch's tile order
+    exactly — the property that keeps parallel execution bit-identical to
+    serial.  Rows are the paper's unit of dynamic scheduling (§VI-B):
+    within one row the destination windows march over disjoint columns,
+    and row sizes are skewed enough that a work queue balances them.
+    """
+    shards: "list[list[T]]" = []
+    last_row = None
+    for tv in views:
+        row = tv.i
+        if not shards or row != last_row:
+            shards.append([])
+            last_row = row
+        shards[-1].append(tv)
+    return shards
+
+
+def chunk_by_edges(views: "Sequence[T]", max_shards: int = 8) -> "list[list[T]]":
+    """Split a batch into at most ``max_shards`` contiguous, edge-balanced
+    chunks.
+
+    The split depends only on the batch contents — never on the worker
+    count — so algorithms whose floating-point accumulation order follows
+    the shard structure produce bit-identical results at any parallelism.
+    Chunks concatenate back to the original sequence.
+    """
+    views = list(views)
+    if not views:
+        return []
+    if len(views) <= 1 or max_shards <= 1:
+        return [views]
+    counts = [tv.lsrc.shape[0] for tv in views]
+    total = sum(counts)
+    target = max(1, -(-total // max_shards))  # ceil
+    shards: "list[list[T]]" = []
+    cur: "list[T]" = []
+    cur_edges = 0
+    for tv, c in zip(views, counts):
+        cur.append(tv)
+        cur_edges += c
+        if cur_edges >= target and len(shards) < max_shards - 1:
+            shards.append(cur)
+            cur, cur_edges = [], 0
+    if cur:
+        shards.append(cur)
+    return shards
+
+
+def execute_batch(algorithm, views, fused: bool = True, workers: int = 1) -> int:
+    """Run one batch of tile views through an algorithm.
+
+    ``fused=False`` is the per-tile reference loop; ``fused=True`` routes
+    through :meth:`TileAlgorithm.process_batch`.  With ``workers > 1`` and
+    a fused-capable algorithm, the read-only partial phase is sharded by
+    the algorithm's :meth:`batch_shards` and distributed over a dynamic
+    thread pool, then the partials are committed serially in shard order.
+    Because the shard structure is worker-independent and the serial
+    :meth:`process_batch` walks the *same* shards, results are bit-identical
+    at any worker count — a deterministic merge with OpenMP
+    ``schedule(dynamic)`` balance (§VI-B).
+    """
+    if not views:
+        return 0
+    if not fused:
+        edges = 0
+        for tv in views:
+            edges += algorithm.process_tile(tv)
+        return edges
+    if workers > 1 and algorithm.supports_fused and len(views) > 1:
+        shards = algorithm.batch_shards(views)
+        if len(shards) > 1:
+            partials = dynamic_row_map(
+                algorithm.batch_partial, shards, workers=workers
+            )
+            return sum(algorithm.apply_partial(p) for p in partials)
+    return algorithm.process_batch(views)

@@ -38,10 +38,14 @@ class IORequest:
 
 @dataclass
 class IOEvent:
-    """A completed request: the tag it carried and its payload bytes."""
+    """A completed request: the tag it carried and its payload buffer.
+
+    ``data`` is a zero-copy ``memoryview`` over the store's backing buffer
+    (or mmap); consumers slice it per tile without copying.
+    """
 
     tag: object
-    data: bytes
+    data: "bytes | memoryview"
 
 
 @dataclass

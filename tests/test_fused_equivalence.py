@@ -1,0 +1,159 @@
+"""Fused-vs-per-tile equivalence of the batch execution layer.
+
+The execution contract, verified here over random R-MAT graphs (undirected
+symmetric storage and directed storage) pushed through tiny memory budgets
+so every mechanism fires (multi-batch slides, proactive caching, rewind):
+
+* Every fused algorithm is *bit-identical* across worker counts — the
+  fused single-threaded path and the row-parallel path commit the same
+  worker-independent shard structure in the same order.
+* Kernels whose updates commute exactly (BFS constant writes, CC minima,
+  k-core integer decrements) are additionally bit-identical to the
+  per-tile reference loop.
+* Float-accumulating kernels (PageRank, SpMV) match the per-tile loop up
+  to floating-point reassociation — the standard parallel-reduction
+  contract — with identical iteration counts.
+* ``edges_processed`` accounting is exactly identical everywhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.bfs import BFS
+from repro.algorithms.cc import ConnectedComponents
+from repro.algorithms.kcore import KCore
+from repro.algorithms.pagerank import PageRank
+from repro.algorithms.spmv import SpMV
+from repro.engine.config import EngineConfig
+from repro.engine.gstore import GStoreEngine
+from repro.engine.inmemory import InMemoryEngine
+from repro.format.tiles import TiledGraph
+from repro.graphgen.rmat import rmat
+
+ALGOS = {
+    "bfs": lambda: BFS(root=0),
+    "bfs-diropt": lambda: BFS(root=0, direction_optimizing=True),
+    "pagerank": lambda: PageRank(max_iterations=25, tolerance=1e-12),
+    "spmv": lambda: SpMV(iterations=3),
+    "cc": lambda: ConnectedComponents(),
+    "kcore": lambda: KCore(k=4),
+}
+
+#: Kernels that accumulate floats: per-tile vs fused differ only by
+#: reassociation; everything else must be bit-identical.
+FLOAT_ALGOS = {"pagerank", "spmv"}
+
+
+def _assert_matches(result, ref, exact: bool, ctx) -> None:
+    assert result.dtype == ref.dtype, ctx
+    assert result.shape == ref.shape, ctx
+    if exact:
+        assert np.array_equal(result, ref), ctx
+    else:
+        assert np.allclose(result, ref, rtol=1e-9, atol=1e-12), ctx
+
+#: (mode label, fused, workers)
+MODES = [
+    ("per-tile", False, 1),
+    ("fused", True, 1),
+    ("fused+parallel", True, 4),
+]
+
+
+def _graph(directed: bool, seed: int) -> TiledGraph:
+    el = rmat(9, edge_factor=8, seed=seed, directed=directed)
+    if directed:
+        el = el.without_self_loops()
+    return TiledGraph.from_edge_list(el, tile_bits=6, group_q=4)
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    return {
+        "undirected": _graph(directed=False, seed=31),
+        "directed": _graph(directed=True, seed=32),
+    }
+
+
+def _run(tg: TiledGraph, algo_factory, fused: bool, workers: int):
+    # Tiny budget: forces several slide batches per iteration plus cache
+    # pressure, so the rewind path and mid-iteration evictions both run.
+    cfg = EngineConfig(
+        memory_bytes=24 * 1024,
+        segment_bytes=4 * 1024,
+        fused=fused,
+        workers=workers,
+    )
+    engine = GStoreEngine(tg, cfg)
+    algo = algo_factory()
+    stats = engine.run(algo)
+    return algo.result().copy(), stats
+
+
+@pytest.mark.parametrize("kind", ["undirected", "directed"])
+@pytest.mark.parametrize("name", sorted(ALGOS))
+def test_engine_equivalence(graphs, kind, name):
+    tg = graphs[kind]
+    factory = ALGOS[name]
+    exact_vs_per_tile = name not in FLOAT_ALGOS
+    per_tile, ref_stats = _run(tg, factory, *MODES[0][1:])
+    fused_results = []
+    for label, fused, workers in MODES[1:]:
+        result, stats = _run(tg, factory, fused=fused, workers=workers)
+        _assert_matches(result, per_tile, exact_vs_per_tile, (name, kind, label))
+        fused_results.append((label, result))
+        assert stats.edges_processed == ref_stats.edges_processed, (
+            name, kind, label,
+        )
+        assert len(stats.iterations) == len(ref_stats.iterations), (
+            name, kind, label,
+        )
+    # Across worker counts the fused path is always bit-identical.
+    (_, fused_one), (label_par, fused_par) = fused_results
+    assert np.array_equal(fused_one, fused_par), (name, kind, label_par)
+
+
+@pytest.mark.parametrize("name", sorted(FLOAT_ALGOS))
+def test_fused_runs_are_deterministic(graphs, name):
+    """Repeated fused+parallel runs reproduce bit-identical float results."""
+    tg = graphs["undirected"]
+    factory = ALGOS[name]
+    a, _ = _run(tg, factory, fused=True, workers=4)
+    b, _ = _run(tg, factory, fused=True, workers=4)
+    assert np.array_equal(a, b), name
+
+
+@pytest.mark.parametrize("name", sorted(ALGOS))
+def test_inmemory_equivalence(graphs, name):
+    """The in-memory engine's fused path matches its per-tile path too."""
+    tg = graphs["undirected"]
+    factory = ALGOS[name]
+    exact_vs_per_tile = name not in FLOAT_ALGOS
+    results = []
+    for label, fused, workers in MODES:
+        engine = InMemoryEngine(tg, fused=fused, workers=workers)
+        algo = factory()
+        stats = engine.run(algo)
+        results.append((label, algo.result().copy(), stats.edges_processed))
+    _, per_tile, ref_edges = results[0]
+    for label, result, edges in results[1:]:
+        _assert_matches(result, per_tile, exact_vs_per_tile, (name, label))
+        assert edges == ref_edges, (name, label)
+    assert np.array_equal(results[1][1], results[2][1]), name
+
+
+def test_default_fallback_loops_per_tile(graphs):
+    """Algorithms without fused kernels run identically via process_batch."""
+    from repro.algorithms.sssp import SSSP
+
+    tg = graphs["undirected"]
+    assert not SSSP(root=0).supports_fused
+    runs = []
+    for fused in (False, True):
+        engine = InMemoryEngine(tg, fused=fused)
+        algo = SSSP(root=0)
+        engine.run(algo)
+        runs.append(algo.result().copy())
+    assert np.array_equal(runs[0], runs[1])

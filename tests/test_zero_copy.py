@@ -1,0 +1,87 @@
+"""Zero-copy guarantees of the decode chain (fetch → slice → view).
+
+``TileStore.read`` → ``slice_run`` → ``view_from_bytes`` must never
+materialise intermediate ``bytes``: with an in-memory store the decoded
+tile arrays share memory with the payload array itself, and with an
+on-disk store they are views over one shared mmap of the payload file.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.selective import merge_requests, slice_run
+from repro.format.tiles import TiledGraph
+from repro.graphgen.rmat import rmat
+from repro.storage.file import TileStore
+
+
+@pytest.fixture(scope="module")
+def tg() -> TiledGraph:
+    return TiledGraph.from_edge_list(
+        rmat(8, edge_factor=8, seed=5), tile_bits=5, group_q=4
+    )
+
+
+def _nonempty_positions(tg, n=6):
+    return np.nonzero(tg.tile_edge_counts() > 0)[0][:n].tolist()
+
+
+class TestInMemoryStore:
+    def test_read_returns_view_over_payload(self, tg):
+        store = TileStore.from_tiled_graph(tg)
+        pos = _nonempty_positions(tg, 1)[0]
+        off, size = tg.start_edge.byte_extent(pos)
+        raw = store.read(off, size)
+        assert isinstance(raw, memoryview)
+        arr = np.frombuffer(raw, dtype=tg.payload_dtype())
+        assert np.shares_memory(arr, tg.payload)
+
+    def test_no_payload_copy_at_construction(self, tg):
+        store = TileStore.from_tiled_graph(tg)
+        whole = np.frombuffer(store.read(0, store.size), dtype=tg.payload_dtype())
+        assert np.shares_memory(whole, tg.payload)
+
+    def test_slice_run_and_view_from_bytes_share_payload(self, tg):
+        store = TileStore.from_tiled_graph(tg)
+        positions = _nonempty_positions(tg)
+        for req in merge_requests(positions, tg.start_edge):
+            raw = store.read(req.offset, req.size)
+            for pos, chunk in slice_run(raw, req.tag, tg.start_edge):
+                assert isinstance(chunk, memoryview)
+                tv = tg.view_from_bytes(pos, chunk)
+                assert np.shares_memory(tv.lsrc, tg.payload), pos
+                assert np.shares_memory(tv.ldst, tg.payload), pos
+
+
+class TestOnDiskStore:
+    def test_reads_share_one_mapping(self, tg, tmp_path):
+        d = tg.save(tmp_path / "g")
+        disk = TiledGraph.load(d, resident=False)
+        with TileStore.from_tiled_graph(disk) as store:
+            a = np.frombuffer(store.read(0, 16), dtype=np.uint8)
+            b = np.frombuffer(store.read(8, 16), dtype=np.uint8)
+            # Overlapping extents resolve to the same mapped pages — views,
+            # not per-read copies.
+            assert np.shares_memory(a, b)
+
+    def test_decode_from_disk_matches_memory(self, tg, tmp_path):
+        d = tg.save(tmp_path / "g")
+        disk = TiledGraph.load(d, resident=False)
+        with TileStore.from_tiled_graph(disk) as store:
+            for pos in _nonempty_positions(tg):
+                off, size = disk.start_edge.byte_extent(pos)
+                tv = disk.view_from_bytes(pos, store.read(off, size))
+                ref = tg.tile_view(pos)
+                assert np.array_equal(tv.lsrc, ref.lsrc)
+                assert np.array_equal(tv.ldst, ref.ldst)
+
+
+class TestTileViewCache:
+    def test_global_edges_cached(self, tg):
+        pos = _nonempty_positions(tg, 1)[0]
+        tv = tg.tile_view(pos)
+        gsrc1, gdst1 = tv.global_edges()
+        gsrc2, gdst2 = tv.global_edges()
+        assert gsrc1 is gsrc2 and gdst1 is gdst2
