@@ -85,6 +85,9 @@ def main(argv=None) -> int:
                     help="threads for the parallel mode (default: all cores)")
     ap.add_argument("--algos", nargs="*", default=sorted(ALGOS),
                     choices=sorted(ALGOS))
+    ap.add_argument("--min-fused-speedup", type=float, default=None,
+                    help="exit nonzero if any algorithm's fused speedup over "
+                         "the per-tile loop falls below this threshold")
     ap.add_argument("--out", default=os.path.join(ROOT, "BENCH_kernels.json"))
     args = ap.parse_args(argv)
 
@@ -147,6 +150,17 @@ def main(argv=None) -> int:
         json.dump(payload, fh, indent=2)
         fh.write("\n")
     print(f"wrote {args.out}")
+
+    if args.min_fused_speedup is not None:
+        ok = True
+        for name in args.algos:
+            sp = results[name]["fused"]["speedup_vs_per_tile"]
+            status = "ok" if sp >= args.min_fused_speedup else "TOO SLOW"
+            print(f"  fused gate {name}: {sp:.2f}x "
+                  f"(need >= {args.min_fused_speedup:.2f}x) [{status}]")
+            ok = ok and sp >= args.min_fused_speedup
+        if not ok:
+            return 1
     return 0
 
 

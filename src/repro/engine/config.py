@@ -8,7 +8,11 @@ Every optimisation the paper ablates is a field here:
 * ``cache_policy`` — SCR vs the two-segment base policy (Figure 13).
 * ``n_ssds`` — RAID-0 width (Figure 15).
 * ``io_mode`` — batched AIO vs synchronous POSIX reads (§V-B).
-* ``overlap`` — pipeline I/O with compute (the *slide*) or serialise.
+* ``overlap`` — pipeline I/O with compute (the *slide*) or serialise,
+  on the *simulated* clock.
+* ``prefetch_depth`` — the *real* (wall-clock) prefetch pipeline: how many
+  segment batches a background worker fetches + decodes ahead of compute
+  (0 = strictly serial fetch-then-compute, the ablation baseline).
 """
 
 from __future__ import annotations
@@ -50,9 +54,20 @@ class EngineConfig:
     #: fetched segment); False forces the per-tile reference loop.
     fused: bool = True
     #: Worker threads for row-parallel batch execution (§VI-B dynamic row
-    #: scheduling).  1 keeps execution single-threaded and deterministic;
-    #: results are bit-identical at any worker count.
-    workers: int = 1
+    #: scheduling).  1 keeps execution single-threaded; ``"auto"`` clamps
+    #: the default to the machine's core count (falling back to serial on a
+    #: single-core box); results are bit-identical at any worker count.
+    workers: "int | str" = 1
+    #: Real prefetch pipeline depth: batches ``k+1..k+depth`` are fetched
+    #: and decoded by a background worker while batch ``k`` computes on the
+    #: engine thread.  0 disables the pipeline entirely (the serial
+    #: fetch-then-compute ablation baseline); results are bit-identical at
+    #: every depth.
+    prefetch_depth: int = 2
+    #: Sleep each batch's simulated I/O service time in real time, so the
+    #: wall clock behaves like the modeled device (used by the
+    #: pipeline-overlap benchmark to demonstrate real overlap).
+    realize_io: bool = False
     #: Safety valve on iteration count (algorithms have their own limits).
     max_iterations: int = 100_000
     #: When set, the graph lives on tiered storage: this fraction of the
@@ -70,8 +85,14 @@ class EngineConfig:
             )
         if self.n_ssds < 1:
             raise StorageError("need at least one SSD")
-        if self.workers < 1:
-            raise StorageError("need at least one worker thread")
+        if self.workers != "auto" and (
+            not isinstance(self.workers, int) or self.workers < 1
+        ):
+            raise StorageError(
+                f"workers must be a positive int or 'auto', got {self.workers!r}"
+            )
+        if self.prefetch_depth < 0:
+            raise StorageError("prefetch_depth must be >= 0")
         if self.tiered_hot_fraction is not None and not (
             0.0 <= self.tiered_hot_fraction <= 1.0
         ):

@@ -6,15 +6,26 @@ Per iteration the engine:
    tiles (§V-B);
 2. *rewinds*: tiles already in the cache pool are processed first, with no
    I/O (§VI-D);
-3. *slides*: the remaining tiles stream through two segments — batch
-   ``k+1`` is fetched by AIO while batch ``k`` computes, so each pipeline
-   step costs ``max(io, compute)`` (§VI-B).  Compute runs through the
-   fused batch layer: a whole segment's tiles execute as one vectorised
-   kernel pass, optionally sharded row-parallel over worker threads with
-   a deterministic merge (``config.fused`` / ``config.workers``);
+3. *slides*: the remaining tiles stream through segment batches — batch
+   ``k+1`` is fetched while batch ``k`` computes, so each pipeline step
+   costs ``max(io, compute)`` (§VI-B).  The overlap exists on *both*
+   clocks: the simulated timeline accounts it via
+   :class:`~repro.runtime.pipeline.PipelineTimeline`, and with
+   ``config.prefetch_depth >= 1`` a background prefetcher really fetches
+   and decodes batches ``k+1..k+D`` (store read + ``decode_batch``, both
+   GIL-releasing) while the engine thread computes batch ``k``.  Compute
+   runs through the fused batch layer: a whole segment's tiles execute as
+   one vectorised kernel pass, optionally sharded row-parallel over a
+   persistent worker pool with a deterministic merge (``config.fused`` /
+   ``config.workers``);
 4. *caches*: processed tiles enter the pool under the proactive rules;
    when the pool fills, analysis evicts tiles the next iteration will not
    need (§VI-C).
+
+Batches always *commit* (clock charge, compute, cache offer) in plan
+order on the engine thread, so results — and the simulated timeline — are
+bit-identical at any prefetch depth; depth 0 is the strictly serial
+fetch-then-compute ablation baseline.
 
 All kernels run for real over real tile bytes; I/O time comes from the
 simulated SSD array and compute time from the cost model (see DESIGN.md).
@@ -22,6 +33,7 @@ simulated SSD array and compute time from the cost model (see DESIGN.md).
 
 from __future__ import annotations
 
+import time as _time
 from dataclasses import dataclass
 
 import numpy as np
@@ -32,15 +44,20 @@ from repro.engine.selective import merge_requests, select_positions
 from repro.engine.stats import IterationStats, RunStats
 from repro.errors import AlgorithmError
 from repro.format.tiles import TiledGraph
-from repro.memory.scr import SCRScheduler
+from repro.memory.scr import SCRScheduler, SlidePlan
 from repro.memory.segments import MemoryBudget, TileBuffer
 from repro.storage.aio import AIOContext
 from repro.storage.device import DeviceProfile
 from repro.storage.file import TileStore
 from repro.storage.raid import Raid0Array
 from repro.util.timer import SimClock, WallTimer
-from repro.runtime.pipeline import PipelineTimeline
-from repro.runtime.threads import execute_batch
+from repro.runtime.pipeline import PipelineTimeline, WallOverlap
+from repro.runtime.threads import (
+    Prefetcher,
+    WorkerPool,
+    execute_batch,
+    resolve_workers,
+)
 
 
 #: Run-level views are split into this many equal-edge pieces per batch —
@@ -61,6 +78,16 @@ class _Batch:
     buffers: "list[TileBuffer]"
     views: list
     edges: int
+
+
+@dataclass
+class _Prepared:
+    """One serviced + decoded batch, ready to commit in plan order."""
+
+    batch: _Batch
+    io_time: float  # simulated service time, not yet charged to the clock
+    bytes_read: int
+    wall: float  # real seconds the preparation took (fetch + decode)
 
 
 class GStoreEngine:
@@ -98,13 +125,51 @@ class GStoreEngine:
         self.store = TileStore.from_tiled_graph(graph)
         self.aio = AIOContext(
             store=self.store, array=self.array, clock=self.clock,
-            mode=self.config.io_mode,
+            mode=self.config.io_mode, realize_io=self.config.realize_io,
         )
+        #: Resolved row-parallel worker count ("auto" clamps to the cores
+        #: actually present; 1 routes through the serial path).
+        self.workers = resolve_workers(self.config.workers)
+        # One persistent pool per engine, shared by the fused layer and the
+        # off-critical-path rewind decode; threads spawn lazily on first
+        # use and are joined by close().
+        self._pool: "WorkerPool | None" = None
+        #: Wall-clock overlap accounting for the most recent run.
+        self.wall_overlap = WallOverlap()
         # Memoized rewind batch: all-active algorithms rewind the same tile
         # set every iteration, so the merged run-level views (and their
         # concatenated global-ID arrays) are built once and reused.
         self._rewind_key: "list[int] | None" = None
         self._rewind_merged: "list | None" = None
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    @property
+    def pool(self) -> WorkerPool:
+        """The engine's persistent worker pool (created on first access)."""
+        if self._pool is None:
+            self._pool = WorkerPool(workers=self.workers)
+        return self._pool
+
+    def close(self) -> None:
+        """Join and release the engine's worker threads (idempotent)."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown()
+
+    def __enter__(self) -> "GStoreEngine":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC backstop
+        try:
+            self.close()
+        except Exception:
+            pass
 
     # ------------------------------------------------------------------ #
 
@@ -114,6 +179,7 @@ class GStoreEngine:
         g = self.graph
         self._rewind_key = None
         self._rewind_merged = None
+        self.wall_overlap = WallOverlap()
         with WallTimer() as wall:
             algorithm.setup(g)
             budget = MemoryBudget(
@@ -148,12 +214,17 @@ class GStoreEngine:
                 )
 
         stats.wall_seconds = wall.elapsed
+        self.wall_overlap.elapsed = wall.elapsed
         stats.metadata_bytes = algorithm.metadata_bytes()
         stats.extra["scr"] = scr.stats
         stats.extra["pipeline"] = timeline.totals
+        stats.extra["pipeline_wall"] = self.wall_overlap.as_dict()
         stats.extra["execution"] = {
             "fused": cfg.fused and algorithm.supports_fused,
             "workers": cfg.workers,
+            "workers_resolved": self.workers,
+            "prefetch_depth": cfg.prefetch_depth,
+            "realize_io": cfg.realize_io,
         }
         return stats
 
@@ -179,93 +250,154 @@ class GStoreEngine:
             algorithm.tile_mask(g.tile_rows, g.tile_cols),
         )
         cached, to_fetch = scr.split_cached(needed, g.start_edge)
+        # The slide schedule is fixed before anything executes, so the
+        # prefetcher can run arbitrarily far ahead of compute.
+        plan: SlidePlan = scr.segment_plan(to_fetch, g.start_edge)
+        fused = cfg.fused and algorithm.supports_fused
 
-        # --- Rewind: consume the pool before any I/O (§VI-D). ---
-        if cached:
-            rewound = scr.cached_buffers(cached)
-            views = self._rewind_views(algorithm, cached, rewound)
-            edges = execute_batch(
-                algorithm, views, fused=cfg.fused, workers=cfg.workers
-            )
-            t = cfg.cost_model.compute_time(
-                algorithm.name, edges * algorithm.direction_passes, len(cached)
-            )
-            timeline.compute_only(t)
-            it.compute_time += t
-            it.tiles_from_cache += len(cached)
-            it.edges_processed += edges
-            se = g.start_edge.start_edge
-            pos_arr = np.asarray(cached, dtype=np.int64)
-            it.bytes_from_cache += (
-                int((se[pos_arr + 1] - se[pos_arr]).sum())
-                * g.start_edge.tuple_bytes
-            )
-            # Rewound tiles stay pooled only if still useful; re-offer them.
-            scr.offer(
-                rewound,
-                g.tile_rows,
-                g.tile_cols,
-                algorithm.rows_active_next(),
-                g.info.symmetric,
-                algorithm.cols_active_next(),
-            )
+        prefetcher: "Prefetcher | None" = None
+        if cfg.prefetch_depth > 0 and plan.n_batches > 0:
+            jobs = [
+                (lambda b=batch: self._prepare(list(b), fused))
+                for batch in plan.batches
+            ]
+            prefetcher = Prefetcher(jobs, depth=cfg.prefetch_depth)
 
-        # --- Slide: overlapped fetch/compute over segment batches. ---
-        batches = scr.segment_batches(to_fetch, g.start_edge)
-        prev: "_Batch | None" = None
-        for batch_positions in batches:
-            requests = merge_requests(batch_positions, g.start_edge)
-            self.aio.submit(requests)
-            events, io_t = self.aio.poll()
-
-            # Compute on the *previous* batch overlaps this fetch.
-            comp_t = 0.0
-            if prev is not None:
-                comp_t = self._process_batch(algorithm, scr, prev, it)
-            timeline.step(io_t, comp_t)
-            it.io_time += io_t
-            it.compute_time += comp_t
-
-            buffers: "list[TileBuffer]" = []
-            views = []
-            edges = 0
-            tb = g.start_edge.tuple_bytes
-            if cfg.fused and algorithm.supports_fused:
-                # Batch-level decode: one widened global-ID buffer for the
-                # whole poll, one run-level view per extent — the fused
-                # kernels concatenate everything anyway, so per-tile
-                # decoding here would be pure overhead.
-                views, tiles = g.decode_batch(
-                    [(ev.tag, ev.data) for ev in events]
+        try:
+            # --- Rewind: consume the pool before any I/O (§VI-D). ---
+            if cached:
+                rewound = scr.cached_buffers(cached)
+                if prefetcher is not None:
+                    # Rewind decode off the critical path: it runs on the
+                    # worker pool concurrently with the prefetcher's fetch
+                    # of the first slide batches.
+                    views = self.pool.submit(
+                        self._rewind_views, algorithm, cached, rewound
+                    ).result()
+                else:
+                    views = self._rewind_views(algorithm, cached, rewound)
+                tc0 = _time.perf_counter()
+                edges = execute_batch(
+                    algorithm, views, fused=cfg.fused, workers=self.workers,
+                    pool=self.pool if self.workers > 1 else None,
                 )
-                views = g.split_run_views(views, _RUN_SPLIT)
-                for pos, i, j, raw in tiles:
-                    buffers.append(TileBuffer(pos=pos, i=i, j=j, data=raw))
-            else:
-                for ev in events:
-                    # One vectorised decode per merged extent: a single
-                    # frombuffer + global-ID widening covers the whole run.
-                    for tv, raw in g.decode_run(ev.tag, ev.data):
-                        buffers.append(
-                            TileBuffer(
-                                pos=tv.pos, i=tv.i, j=tv.j, data=raw, view=tv
-                            )
-                        )
-                        views.append(tv)
-            for ev in events:
-                edges += len(ev.data) // tb
-            it.bytes_read += sum(r.size for r in requests)
-            it.tiles_fetched += len(buffers)
-            prev = _Batch(buffers=buffers, views=views, edges=edges)
+                self.wall_overlap.compute_busy += _time.perf_counter() - tc0
+                t = cfg.cost_model.compute_time(
+                    algorithm.name, edges * algorithm.direction_passes, len(cached)
+                )
+                timeline.compute_only(t)
+                it.compute_time += t
+                it.tiles_from_cache += len(cached)
+                it.edges_processed += edges
+                se = g.start_edge.start_edge
+                pos_arr = np.asarray(cached, dtype=np.int64)
+                it.bytes_from_cache += (
+                    int((se[pos_arr + 1] - se[pos_arr]).sum())
+                    * g.start_edge.tuple_bytes
+                )
+                # Rewound tiles stay pooled only if still useful; re-offer.
+                scr.offer(
+                    rewound,
+                    g.tile_rows,
+                    g.tile_cols,
+                    algorithm.rows_active_next(),
+                    g.info.symmetric,
+                    algorithm.cols_active_next(),
+                )
 
-        # Pipeline drain: the last fetched batch computes with no I/O.
-        if prev is not None:
-            comp_t = self._process_batch(algorithm, scr, prev, it)
-            timeline.compute_only(comp_t)
-            it.compute_time += comp_t
+            # --- Slide: overlapped fetch/compute over segment batches. ---
+            # Batch k computes on the engine thread while the prefetcher
+            # prepares k+1..k+depth; each batch then commits (clock, stats,
+            # cache offer) in plan order.
+            prev: "_Prepared | None" = None
+            for k in range(plan.n_batches):
+                comp_t = 0.0
+                tc0 = _time.perf_counter()
+                if prev is not None:
+                    comp_t = self._process_batch(algorithm, scr, prev.batch, it)
+                tc1 = _time.perf_counter()
+                self.wall_overlap.compute_busy += tc1 - tc0
+                if prefetcher is not None:
+                    prep: _Prepared = prefetcher.get()
+                    stall = _time.perf_counter() - tc1
+                else:
+                    prep = self._prepare(list(plan.batches[k]), fused)
+                    stall = prep.wall  # serial path: compute waits it out
+                self.wall_overlap.record_fetch(
+                    prep.wall, stall, prefetched=prefetcher is not None
+                )
+                self.aio.commit(prep.io_time)
+                timeline.step(prep.io_time, comp_t)
+                it.io_time += prep.io_time
+                it.compute_time += comp_t
+                it.bytes_read += prep.bytes_read
+                it.tiles_fetched += len(prep.batch.buffers)
+                prev = prep
+
+            # Pipeline drain: the last fetched batch computes with no I/O.
+            if prev is not None:
+                tc0 = _time.perf_counter()
+                comp_t = self._process_batch(algorithm, scr, prev.batch, it)
+                self.wall_overlap.compute_busy += _time.perf_counter() - tc0
+                timeline.compute_only(comp_t)
+                it.compute_time += comp_t
+        finally:
+            # An algorithm exception must not leak the prefetch thread.
+            if prefetcher is not None:
+                prefetcher.close()
 
         it.elapsed = timeline.totals.elapsed - elapsed_before
         return it
+
+    # ------------------------------------------------------------------ #
+
+    def _prepare(self, batch_positions: "list[int]", fused: bool) -> _Prepared:
+        """Fetch + decode one slide batch (runs on the prefetch thread when
+        prefetching, inline on the engine thread at depth 0).
+
+        Everything here is free of engine-thread state: the AIO service
+        half is thread-safe and clock-free, the store reads are zero-copy,
+        and the NumPy decode releases the GIL — which is exactly what makes
+        the overlap with compute real.
+        """
+        g = self.graph
+        t0 = _time.perf_counter()
+        requests = merge_requests(batch_positions, g.start_edge)
+        events, io_t = self.aio.service(requests)
+        buffers: "list[TileBuffer]" = []
+        views: list = []
+        edges = 0
+        tb = g.start_edge.tuple_bytes
+        if fused:
+            # Batch-level decode: one widened global-ID buffer for the
+            # whole batch, one run-level view per extent — the fused
+            # kernels concatenate everything anyway, so per-tile decoding
+            # here would be pure overhead.
+            views, tiles = g.decode_batch(
+                [(ev.tag, ev.data) for ev in events]
+            )
+            views = g.split_run_views(views, _RUN_SPLIT)
+            for pos, i, j, raw in tiles:
+                buffers.append(TileBuffer(pos=pos, i=i, j=j, data=raw))
+        else:
+            for ev in events:
+                # One vectorised decode per merged extent: a single
+                # frombuffer + global-ID widening covers the whole run.
+                for tv, raw in g.decode_run(ev.tag, ev.data):
+                    buffers.append(
+                        TileBuffer(
+                            pos=tv.pos, i=tv.i, j=tv.j, data=raw, view=tv
+                        )
+                    )
+                    views.append(tv)
+        for ev in events:
+            edges += len(ev.data) // tb
+        return _Prepared(
+            batch=_Batch(buffers=buffers, views=views, edges=edges),
+            io_time=io_t,
+            bytes_read=sum(r.size for r in requests),
+            wall=_time.perf_counter() - t0,
+        )
 
     def _rewind_views(self, algorithm: TileAlgorithm, cached, rewound):
         """Views for the rewind batch.
@@ -319,7 +451,8 @@ class GStoreEngine:
         g = self.graph
         cfg = self.config
         edges = execute_batch(
-            algorithm, batch.views, fused=cfg.fused, workers=cfg.workers
+            algorithm, batch.views, fused=cfg.fused, workers=self.workers,
+            pool=self.pool if self.workers > 1 else None,
         )
         it.edges_processed += edges
         scr.offer(

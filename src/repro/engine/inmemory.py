@@ -19,7 +19,7 @@ from repro.engine.selective import select_positions
 from repro.engine.stats import IterationStats, RunStats
 from repro.errors import AlgorithmError
 from repro.format.tiles import TiledGraph
-from repro.runtime.threads import execute_batch
+from repro.runtime.threads import execute_batch, resolve_workers
 from repro.util.timer import WallTimer
 
 
@@ -40,7 +40,7 @@ class InMemoryEngine:
         graph: TiledGraph,
         max_iterations: int = 100_000,
         fused: bool = True,
-        workers: int = 1,
+        workers: "int | str" = 1,
     ):
         if graph.payload is None:
             raise AlgorithmError(
@@ -50,7 +50,7 @@ class InMemoryEngine:
         self.graph = graph
         self.max_iterations = int(max_iterations)
         self.fused = bool(fused)
-        self.workers = int(workers)
+        self.workers = resolve_workers(workers)
 
     def run(self, algorithm: TileAlgorithm) -> RunStats:
         """Execute to convergence; only wall-clock time is meaningful."""

@@ -4,6 +4,14 @@
 figure uses); ``wall_seconds`` is the real Python time (what
 pytest-benchmark records).  Byte counters separate disk reads from cache
 hits so the SCR experiments can attribute their wins.
+
+The G-Store engine additionally reports the overlap story in *both*
+clocks: ``extra["pipeline"]`` carries the simulated
+:class:`~repro.runtime.pipeline.PipelineTotals` and
+``extra["pipeline_wall"]`` the real-clock
+:class:`~repro.runtime.pipeline.WallOverlap` numbers (how long the engine
+thread actually stalled on fetch+decode vs computed), so the Figure-15
+I/O-bound fraction exists simulated and measured.
 """
 
 from __future__ import annotations
@@ -75,6 +83,15 @@ class RunStats:
         total = self.bytes_read + self.bytes_from_cache
         return self.bytes_from_cache / total if total else 0.0
 
+    def wall_io_stall_fraction(self) -> "float | None":
+        """Fraction of the run's *wall* time the engine thread spent
+        stalled waiting on fetch+decode (None when the engine did not
+        record wall overlap — e.g. the baselines)."""
+        wall = self.extra.get("pipeline_wall")
+        if not wall:
+            return None
+        return wall.get("io_bound_fraction", 0.0)
+
     def summary(self) -> str:
         """Multi-line human-readable report."""
         lines = [
@@ -94,4 +111,12 @@ class RunStats:
             f"({self.mteps():.1f} MTEPS), tiles {self.tiles_fetched} fetched / "
             f"{self.tiles_from_cache} cached",
         ]
+        wall = self.extra.get("pipeline_wall")
+        if wall and wall.get("batches"):
+            lines.append(
+                f"  overlap (wall): fetch+decode {fmt_time(wall['io_busy'])} "
+                f"({wall['prefetched']}/{wall['batches']} batches prefetched), "
+                f"stalled {fmt_time(wall['io_stall'])} "
+                f"({wall['io_bound_fraction']:.0%} of wall time)"
+            )
         return "\n".join(lines)

@@ -33,6 +33,34 @@ class CachePolicy(enum.Enum):
     NONE = "none"  # alias of BASE kept for clarity in ablation sweeps
 
 
+@dataclass(frozen=True)
+class SlidePlan:
+    """One iteration's slide schedule, fixed before execution starts.
+
+    The whole plan is known as soon as the iteration's fetch set is — tile
+    sizes come from the start-edge index, not from runtime state — which is
+    what lets the prefetch pipeline fetch and decode batches ``k+1..k+D``
+    while batch ``k`` computes without changing any scheduling decision.
+    """
+
+    batches: "tuple[tuple[int, ...], ...]"
+    batch_bytes: "tuple[int, ...]"
+
+    @property
+    def n_batches(self) -> int:
+        return len(self.batches)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.batch_bytes)
+
+    def __iter__(self):
+        return iter(self.batches)
+
+    def __len__(self) -> int:
+        return len(self.batches)
+
+
 @dataclass
 class SCRStats:
     tiles_cached: int = 0
@@ -97,35 +125,47 @@ class SCRScheduler:
     # Slide
     # ------------------------------------------------------------------ #
 
-    def segment_batches(
+    def segment_plan(
         self, positions: "list[int]", start_edge: StartEdgeIndex
-    ) -> "list[list[int]]":
-        """Chunk fetch positions into segment-sized batches (disk order).
+    ) -> SlidePlan:
+        """The full slide schedule for this iteration's fetch set.
 
-        Each batch is one AIO submission filling one streaming segment; a
-        tile larger than a whole segment still travels alone (tiles are the
-        indivisible I/O unit, §V-B: "we do not fetch, process or cache
-        partial data from any tile").
+        Chunks fetch positions into segment-sized batches (disk order) and
+        records each batch's byte size.  Each batch is one AIO submission
+        filling one streaming segment; a tile larger than a whole segment
+        still travels alone (tiles are the indivisible I/O unit, §V-B: "we
+        do not fetch, process or cache partial data from any tile").  The
+        plan is returned *ahead of execution* so the prefetch pipeline can
+        run arbitrarily far into it.
         """
-        batches: "list[list[int]]" = []
+        batches: "list[tuple[int, ...]]" = []
+        sizes_out: "list[int]" = []
         cur: "list[int]" = []
         cur_bytes = 0
         cap = self.budget.segment_bytes
         if not positions:
-            return batches
+            return SlidePlan(batches=(), batch_bytes=())
         se = start_edge.start_edge
         arr = np.asarray(positions, dtype=np.int64)
         sizes = ((se[arr + 1] - se[arr]) * start_edge.tuple_bytes).tolist()
         for pos, size in zip(positions, sizes):
             if cur and cur_bytes + size > cap:
-                batches.append(cur)
+                batches.append(tuple(cur))
+                sizes_out.append(cur_bytes)
                 cur = []
                 cur_bytes = 0
             cur.append(pos)
             cur_bytes += size
         if cur:
-            batches.append(cur)
-        return batches
+            batches.append(tuple(cur))
+            sizes_out.append(cur_bytes)
+        return SlidePlan(batches=tuple(batches), batch_bytes=tuple(sizes_out))
+
+    def segment_batches(
+        self, positions: "list[int]", start_edge: StartEdgeIndex
+    ) -> "list[list[int]]":
+        """Batches of :meth:`segment_plan`, as plain lists (legacy shape)."""
+        return [list(b) for b in self.segment_plan(positions, start_edge)]
 
     # ------------------------------------------------------------------ #
     # Cache

@@ -7,6 +7,12 @@ I/O duration and a compute duration that run concurrently, so the step costs
 
 Totals also track how long each side idled, which the engine reports as
 "I/O bound" vs "CPU bound" — the quantity behind the Figure 15 crossover.
+
+Two clocks run side by side: :class:`PipelineTimeline` accounts the
+*simulated* overlap (device model + cost model), while
+:class:`WallOverlap` records the *real* one — wall seconds the prefetch
+pipeline spent fetching/decoding versus computing versus stalled — so the
+Figure-15 I/O-bound fraction exists in both clocks.
 """
 
 from __future__ import annotations
@@ -68,3 +74,53 @@ class PipelineTimeline:
     def io_only(self, io_time: float) -> float:
         """A step with no compute (the pipeline-fill fetch of an iteration)."""
         return self.step(io_time, 0.0)
+
+
+@dataclass
+class WallOverlap:
+    """Real-clock overlap accounting for one engine run.
+
+    ``io_busy`` sums the wall seconds prefetch jobs spent fetching and
+    decoding batches (on the prefetch thread when ``prefetch_depth >= 1``,
+    inline on the engine thread at depth 0); ``compute_busy`` sums the
+    engine thread's kernel time; ``io_stall`` is the wall time the engine
+    thread actually *waited* for a batch to be ready.  On the serial path
+    every fetch is a stall by definition, so the depth-0 run is the honest
+    baseline the overlap ratio is measured against.
+    """
+
+    io_busy: float = 0.0
+    compute_busy: float = 0.0
+    io_stall: float = 0.0
+    batches: int = 0
+    prefetched: int = 0  # batches prepared off the engine thread
+    elapsed: float = 0.0  # run wall seconds, filled at run end
+
+    @property
+    def io_bound_fraction(self) -> float:
+        """Fraction of the run's wall time spent stalled on I/O + decode
+        (the wall-clock counterpart of
+        :attr:`PipelineTotals.io_bound_fraction`)."""
+        return self.io_stall / self.elapsed if self.elapsed else 0.0
+
+    def record_fetch(
+        self, busy: float, stall: float, prefetched: bool
+    ) -> None:
+        """Account one batch: its preparation time and the engine-thread
+        wall time that preparation actually blocked."""
+        self.io_busy += busy
+        self.io_stall += stall
+        self.batches += 1
+        if prefetched:
+            self.prefetched += 1
+
+    def as_dict(self) -> dict:
+        return {
+            "io_busy": self.io_busy,
+            "compute_busy": self.compute_busy,
+            "io_stall": self.io_stall,
+            "batches": self.batches,
+            "prefetched": self.prefetched,
+            "elapsed": self.elapsed,
+            "io_bound_fraction": self.io_bound_fraction,
+        }

@@ -1,22 +1,37 @@
-"""Dynamic row-parallel scheduling (paper §VI-B).
+"""Dynamic row-parallel scheduling and the prefetch pipeline (paper §VI-B).
 
 G-Store assigns different tile rows to different OpenMP threads with
 dynamic scheduling because row sizes are wildly skewed.  The NumPy kernels
 here already execute each tile's edges data-parallel inside vectorised
-operations; this helper adds row-level concurrency across tiles for
-in-memory processing, using a thread pool with dynamic (work-queue)
-assignment — NumPy releases the GIL in its inner loops, so skewed rows
-balance the same way OpenMP ``schedule(dynamic)`` does.
+operations; this module adds the thread machinery around them:
+
+* :func:`dynamic_row_map` — row-level concurrency across tiles with
+  dynamic (work-queue) assignment; NumPy releases the GIL in its inner
+  loops, so skewed rows balance the same way OpenMP ``schedule(dynamic)``
+  does.
+* :class:`WorkerPool` — a persistent, lazily-created executor shared by
+  the fused layer and the prefetcher (one pool per engine, not one per
+  batch).
+* :class:`Prefetcher` — a bounded background pipeline: a dedicated worker
+  thread prepares batches ``k+1..k+D`` (I/O + decode) while the consumer
+  processes batch ``k``, delivering results strictly in submission order.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ThreadPoolExecutor
+import queue
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+#: Thread-name prefixes, so tests can assert clean shutdown via
+#: ``threading.enumerate()``.
+PREFETCH_THREAD_NAME = "repro-prefetch"
+WORKER_THREAD_PREFIX = "repro-worker"
 
 
 def default_workers() -> int:
@@ -27,23 +42,198 @@ def default_workers() -> int:
     return max(1, os.cpu_count() or 1)
 
 
+def resolve_workers(workers: "int | str") -> int:
+    """Resolve a worker-count setting to a concrete thread count.
+
+    ``"auto"`` clamps the default to the machine's core count — on a
+    single-core box that resolves to 1, which routes execution through the
+    serial path instead of paying thread-pool overhead for no parallelism
+    (the ``fused+parallel`` regression BENCH_kernels.json showed with one
+    CPU).  Integers pass through unchanged (must be >= 1).
+    """
+    if workers == "auto":
+        return max(1, min(default_workers(), os.cpu_count() or 1))
+    w = int(workers)
+    if w < 1:
+        raise ValueError(f"workers must be >= 1 or 'auto', got {workers!r}")
+    return w
+
+
+class WorkerPool:
+    """Persistent, lazily-created thread pool.
+
+    ``dynamic_row_map`` used to build a fresh ``ThreadPoolExecutor`` per
+    batch — thread churn on every segment.  One :class:`WorkerPool` is
+    owned by the engine, shared by the fused execution layer, the rewind
+    decoder, and the prefetcher's decode jobs, and shut down with the
+    engine.  The underlying executor is only created on first use, so
+    serial runs never spawn a thread.
+    """
+
+    def __init__(self, workers: "int | None" = None):
+        self._workers = workers if workers is not None else default_workers()
+        if self._workers < 1:
+            raise ValueError(f"need at least one worker, got {self._workers}")
+        self._executor: "ThreadPoolExecutor | None" = None
+        self._lock = threading.Lock()
+        self._closed = False
+
+    @property
+    def size(self) -> int:
+        return self._workers
+
+    @property
+    def started(self) -> bool:
+        """Whether the underlying executor has been created."""
+        return self._executor is not None
+
+    @property
+    def executor(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("worker pool is shut down")
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self._workers,
+                    thread_name_prefix=WORKER_THREAD_PREFIX,
+                )
+            return self._executor
+
+    def map(self, fn: Callable[[T], R], items: "Iterable[T]") -> "list[R]":
+        return list(self.executor.map(fn, items))
+
+    def submit(self, fn: Callable[..., R], *args, **kwargs) -> "Future":
+        return self.executor.submit(fn, *args, **kwargs)
+
+    def shutdown(self) -> None:
+        """Join and release the pool threads (idempotent)."""
+        with self._lock:
+            executor, self._executor = self._executor, None
+            self._closed = True
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.shutdown()
+
+    def __del__(self):  # pragma: no cover - GC backstop
+        try:
+            self.shutdown()
+        except Exception:
+            pass
+
+
+class Prefetcher:
+    """Bounded background batch preparation (the *slide*'s real overlap).
+
+    Given an ordered list of ``jobs`` (callables that fetch + decode one
+    segment batch), a dedicated worker thread runs them sequentially,
+    keeping at most ``depth`` finished-but-unconsumed results queued.
+    :meth:`get` returns results strictly in submission order — the single
+    producer thread guarantees it — so the consumer commits batches in
+    plan order and results are bit-identical to the serial path at any
+    depth.  A job exception is re-raised by the corresponding :meth:`get`;
+    :meth:`close` always leaves no thread behind (assertable via
+    ``threading.enumerate()``).
+    """
+
+    #: How often the producer re-checks the stop flag while the queue is
+    #: full (seconds) — bounds shutdown latency without busy-waiting.
+    _STOP_POLL = 0.05
+
+    def __init__(
+        self,
+        jobs: "Sequence[Callable[[], T]]",
+        depth: int = 1,
+        name: str = PREFETCH_THREAD_NAME,
+    ):
+        if depth < 1:
+            raise ValueError(f"prefetch depth must be >= 1, got {depth}")
+        self._jobs = list(jobs)
+        self._slots = threading.Semaphore(depth)
+        self._results: "queue.Queue[tuple[object, BaseException | None]]" = (
+            queue.Queue()
+        )
+        self._stop = threading.Event()
+        self._consumed = 0
+        self._thread = threading.Thread(
+            target=self._produce, name=name, daemon=True
+        )
+        self._thread.start()
+
+    def _produce(self) -> None:
+        for job in self._jobs:
+            while not self._slots.acquire(timeout=self._STOP_POLL):
+                if self._stop.is_set():
+                    return
+            if self._stop.is_set():
+                return
+            try:
+                out = job()
+            except BaseException as exc:  # delivered to the consumer
+                self._results.put((None, exc))
+                return
+            self._results.put((out, None))
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def get(self) -> "T":
+        """Next prepared batch, in submission order (blocks until ready)."""
+        if self._consumed >= len(self._jobs):
+            raise IndexError("all prefetch jobs already consumed")
+        out, exc = self._results.get()
+        self._consumed += 1
+        self._slots.release()
+        if exc is not None:
+            self.close()
+            raise exc
+        return out
+
+    def close(self) -> None:
+        """Stop the worker and join it (idempotent, exception-safe)."""
+        self._stop.set()
+        if self._thread.is_alive():
+            self._thread.join()
+        # Drop any prepared-but-unconsumed results so their buffers free.
+        while True:
+            try:
+                self._results.get_nowait()
+            except queue.Empty:
+                break
+
+    def __enter__(self) -> "Prefetcher":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
 def dynamic_row_map(
     fn: Callable[[T], R],
     items: "Sequence[T] | Iterable[T]",
     workers: "int | None" = None,
+    pool: "WorkerPool | None" = None,
 ) -> "list[R]":
     """Apply ``fn`` to every item with dynamic work distribution.
 
     Results preserve input order.  With one worker (or one item) this runs
-    serially, which keeps deterministic tests cheap.
+    serially, which keeps deterministic tests cheap.  Pass ``pool`` to run
+    on a persistent :class:`WorkerPool` instead of paying executor
+    creation per call.
     """
     items = list(items)
     if workers is None:
-        workers = default_workers()
+        workers = pool.size if pool is not None else default_workers()
     if workers <= 1 or len(items) <= 1:
         return [fn(x) for x in items]
-    with ThreadPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(fn, items))
+    if pool is not None:
+        return pool.map(fn, items)
+    with ThreadPoolExecutor(max_workers=workers) as tmp:
+        return list(tmp.map(fn, items))
 
 
 def row_run_shards(views: "Sequence[T]") -> "list[list[T]]":
@@ -98,18 +288,25 @@ def chunk_by_edges(views: "Sequence[T]", max_shards: int = 8) -> "list[list[T]]"
     return shards
 
 
-def execute_batch(algorithm, views, fused: bool = True, workers: int = 1) -> int:
+def execute_batch(
+    algorithm,
+    views,
+    fused: bool = True,
+    workers: int = 1,
+    pool: "WorkerPool | None" = None,
+) -> int:
     """Run one batch of tile views through an algorithm.
 
     ``fused=False`` is the per-tile reference loop; ``fused=True`` routes
     through :meth:`TileAlgorithm.process_batch`.  With ``workers > 1`` and
     a fused-capable algorithm, the read-only partial phase is sharded by
     the algorithm's :meth:`batch_shards` and distributed over a dynamic
-    thread pool, then the partials are committed serially in shard order.
-    Because the shard structure is worker-independent and the serial
-    :meth:`process_batch` walks the *same* shards, results are bit-identical
-    at any worker count — a deterministic merge with OpenMP
-    ``schedule(dynamic)`` balance (§VI-B).
+    thread pool (``pool`` when given, else a transient one), then the
+    partials are committed serially in shard order.  Because the shard
+    structure is worker-independent and the serial :meth:`process_batch`
+    walks the *same* shards, results are bit-identical at any worker count
+    — a deterministic merge with OpenMP ``schedule(dynamic)`` balance
+    (§VI-B).
     """
     if not views:
         return 0
@@ -122,7 +319,7 @@ def execute_batch(algorithm, views, fused: bool = True, workers: int = 1) -> int
         shards = algorithm.batch_shards(views)
         if len(shards) > 1:
             partials = dynamic_row_map(
-                algorithm.batch_partial, shards, workers=workers
+                algorithm.batch_partial, shards, workers=workers, pool=pool
             )
             return sum(algorithm.apply_partial(p) for p in partials)
     return algorithm.process_batch(views)

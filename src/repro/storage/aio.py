@@ -5,13 +5,33 @@ Mirrors the libaio shape G-Store uses: many reads are batched into a single
 charges service time to the shared :class:`~repro.util.timer.SimClock` and
 returns the *real* bytes from the backing :class:`TileStore` file.
 
+Submission and completion are separable, so a prefetch thread can *service*
+a batch (store reads + simulated service time) while the engine thread
+computes, and the engine later *commits* the simulated time in plan order:
+
+* :meth:`AIOContext.service` is the thread-safe submission half — it never
+  touches the clock.
+* :meth:`AIOContext.submit_async` wraps :meth:`service` in a future-like
+  :class:`AIOHandle` (optionally on an executor).
+* :meth:`AIOContext.complete` / :meth:`AIOContext.commit` are the
+  completion half: they advance the clock and account ``io_time``.
+
+The legacy :meth:`submit` / :meth:`poll` pair is the synchronous
+composition of the two halves and remains the depth-0 (serial) path.
+
 ``IOMode.SYNC`` models the direct/synchronous POSIX alternative the paper
-compares against (per-request latency, no overlap).
+compares against (per-request latency, no overlap).  ``realize_io=True``
+additionally *sleeps* each batch's simulated service time on the servicing
+thread, so the wall clock behaves like the modeled device — the mode the
+pipeline-overlap benchmark uses to demonstrate real fetch/compute overlap.
 """
 
 from __future__ import annotations
 
 import enum
+import threading
+import time
+from concurrent.futures import Executor, Future
 from dataclasses import dataclass, field
 
 from repro.errors import StorageError
@@ -56,6 +76,33 @@ class AIOStats:
     io_time: float = 0.0
 
 
+class AIOHandle:
+    """Future-like handle for one submitted batch (what ``io_submit``
+    returns).  ``result()`` blocks until the batch is serviced and yields
+    ``(events, service_time)``; service errors re-raise there."""
+
+    __slots__ = ("_future", "_events", "_time")
+
+    def __init__(
+        self,
+        future: "Future | None" = None,
+        events: "list[IOEvent] | None" = None,
+        service_time: float = 0.0,
+    ):
+        self._future = future
+        self._events = events
+        self._time = service_time
+
+    def done(self) -> bool:
+        return self._future is None or self._future.done()
+
+    def result(self) -> "tuple[list[IOEvent], float]":
+        if self._future is not None:
+            self._events, self._time = self._future.result()
+            self._future = None
+        return self._events, self._time
+
+
 @dataclass
 class AIOContext:
     """Batched read interface binding a store, an array, and a clock."""
@@ -64,42 +111,113 @@ class AIOContext:
     array: Raid0Array
     clock: SimClock
     mode: IOMode = IOMode.AIO
+    #: Sleep each batch's simulated service time on the servicing thread,
+    #: making wall-clock I/O behave like the modeled device.
+    realize_io: bool = False
     stats: AIOStats = field(default_factory=AIOStats)
     _pending: "list[IOEvent]" = field(default_factory=list)
     _pending_time: float = 0.0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    # ------------------------------------------------------------------ #
+    # Submission half
+    # ------------------------------------------------------------------ #
+
+    def service(
+        self, requests: "list[IORequest]"
+    ) -> "tuple[list[IOEvent], float]":
+        """Service a batch: store reads plus modeled service time.
+
+        Thread-safe and clock-free, so any thread (a prefetch worker, an
+        executor) may call it; the simulated time must later be committed
+        on the engine thread via :meth:`commit` (or :meth:`complete`).
+        All-or-nothing: if any extent is invalid, no event is produced and
+        no counter moves.
+        """
+        if not requests:
+            return [], 0.0
+        extents = [(r.offset, r.size) for r in requests]
+        with self._lock:
+            # Reads first: a bad extent raises before any state mutates.
+            events = [
+                IOEvent(tag=r.tag, data=self.store.read(r.offset, r.size))
+                for r in requests
+            ]
+            if self.mode is IOMode.AIO:
+                t = self.array.read_batch_time(extents)
+            else:
+                t = self.array.read_sync_time(extents)
+            self.stats.submissions += 1
+            self.stats.requests += len(requests)
+            self.stats.bytes_read += sum(r.size for r in requests)
+        if self.realize_io and t > 0.0:
+            time.sleep(t)
+        return events, t
 
     def submit(self, requests: "list[IORequest]") -> int:
-        """Submit a batch; returns the number of queued requests.
+        """Submit a batch synchronously; returns the number of queued
+        requests.
 
         Like ``io_submit``, this only queues work: time is charged when the
-        batch is reaped by :meth:`poll`.
+        batch is reaped by :meth:`poll`.  Submission is all-or-nothing — a
+        failed extent leaves no partial pending state behind.
         """
         if self._pending:
             raise StorageError("previous batch not yet reaped; call poll() first")
         if not requests:
             return 0
-        extents = [(r.offset, r.size) for r in requests]
-        if self.mode is IOMode.AIO:
-            t = self.array.read_batch_time(extents)
-        else:
-            t = self.array.read_sync_time(extents)
+        events, t = self.service(requests)
+        self._pending = events
         self._pending_time = t
-        for r in requests:
-            self._pending.append(IOEvent(tag=r.tag, data=self.store.read(r.offset, r.size)))
-        self.stats.submissions += 1
-        self.stats.requests += len(requests)
-        self.stats.bytes_read += sum(r.size for r in requests)
         return len(requests)
 
+    def submit_async(
+        self, requests: "list[IORequest]", executor: "Executor | None" = None
+    ) -> AIOHandle:
+        """Submit a batch for background servicing; returns a future-like
+        :class:`AIOHandle`.
+
+        With an ``executor`` the store reads (and the ``realize_io`` sleep)
+        run on a pool thread; without one the batch is serviced eagerly on
+        the calling thread (useful when the caller *is* the background
+        worker).  Unlike :meth:`submit`, any number of async batches may be
+        in flight — the caller sequences completion.
+        """
+        if executor is not None:
+            return AIOHandle(future=executor.submit(self.service, requests))
+        events, t = self.service(requests)
+        return AIOHandle(events=events, service_time=t)
+
+    # ------------------------------------------------------------------ #
+    # Completion half
+    # ------------------------------------------------------------------ #
+
+    def commit(self, service_time: float) -> None:
+        """Charge an already-serviced batch's time to the shared clock.
+
+        Must be called on the engine thread, in plan order — that is what
+        keeps the simulated timeline identical at any prefetch depth.
+        """
+        self.clock.advance(service_time)
+        with self._lock:
+            self.stats.io_time += service_time
+
+    def complete(self, handle: AIOHandle) -> "tuple[list[IOEvent], float]":
+        """Reap one async batch: block on the handle, then charge its time."""
+        events, t = handle.result()
+        self.commit(t)
+        return events, t
+
     def poll(self) -> "tuple[list[IOEvent], float]":
-        """Reap all completions; advances the clock and returns
-        ``(events, service_time)``."""
+        """Reap all completions of the last :meth:`submit`; advances the
+        clock and returns ``(events, service_time)``."""
         events = self._pending
         t = self._pending_time
         self._pending = []
         self._pending_time = 0.0
-        self.clock.advance(t)
-        self.stats.io_time += t
+        self.commit(t)
         return events, t
 
     def read_batch(self, requests: "list[IORequest]") -> "tuple[list[IOEvent], float]":

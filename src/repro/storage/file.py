@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import mmap
 import os
+import threading
 
 import numpy as np
 
@@ -32,6 +33,11 @@ class TileStore:
         self._path = os.fspath(path) if path is not None else None
         self._fh = None
         self._mm: "mmap.mmap | None" = None
+        # Reads may come from the engine thread, the prefetch thread, and
+        # pool workers concurrently; only the lazy mmap/file-handle setup
+        # and the seek+read fallback need serialising (slicing views of an
+        # established mapping is thread-safe).
+        self._lock = threading.Lock()
         if data is not None:
             if isinstance(data, np.ndarray):
                 view = memoryview(np.ascontiguousarray(data)).cast("B")
@@ -61,11 +67,15 @@ class TileStore:
         if self._mm is None:
             if self._size == 0:
                 return None  # cannot mmap an empty file
-            with open(self._path, "rb") as fh:
-                try:
-                    self._mm = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
-                except (ValueError, OSError):
-                    return None
+            with self._lock:
+                if self._mm is None:
+                    with open(self._path, "rb") as fh:
+                        try:
+                            self._mm = mmap.mmap(
+                                fh.fileno(), 0, access=mmap.ACCESS_READ
+                            )
+                        except (ValueError, OSError):
+                            return None
         return memoryview(self._mm)
 
     def read(self, offset: int, size: int) -> memoryview:
@@ -81,11 +91,13 @@ class TileStore:
         mapped = self._map()
         if mapped is not None:
             return mapped[offset : offset + size]
-        # Degenerate fallback (mmap refused): plain pread, one copy.
-        if self._fh is None:
-            self._fh = open(self._path, "rb")
-        self._fh.seek(offset)
-        out = self._fh.read(size)
+        # Degenerate fallback (mmap refused): plain pread, one copy.  The
+        # shared handle's seek+read must not interleave across threads.
+        with self._lock:
+            if self._fh is None:
+                self._fh = open(self._path, "rb")
+            self._fh.seek(offset)
+            out = self._fh.read(size)
         if len(out) != size:
             raise StorageError(f"short read at {offset} (+{size})")
         return memoryview(out)

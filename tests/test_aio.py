@@ -1,9 +1,13 @@
-"""Unit tests for the AIO context (submit/poll semantics, §V-B)."""
+"""Unit tests for the AIO context (submit/poll semantics, §V-B; the
+submission/completion split behind the prefetch pipeline)."""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
 
 import pytest
 
 from repro.errors import StorageError
-from repro.storage.aio import AIOContext, IOMode, IORequest
+from repro.storage.aio import AIOContext, AIOHandle, IOMode, IORequest
 from repro.storage.device import DeviceProfile
 from repro.storage.file import TileStore
 from repro.storage.raid import Raid0Array
@@ -58,6 +62,104 @@ class TestModes:
         _, t_aio = aio_ctx.read_batch(reqs)
         _, t_sync = sync_ctx.read_batch(list(reqs))
         assert t_sync > t_aio
+
+
+class TestAllOrNothing:
+    def test_failed_submit_leaves_no_pending_state(self):
+        """A bad extent mid-batch must not half-build the pending queue."""
+        ctx, clock = _ctx()
+        good = IORequest(0, 4, tag="good")
+        bad = IORequest(1000, 4, tag="bad")  # outside the 16-byte store
+        with pytest.raises(StorageError):
+            ctx.submit([good, bad])
+        # No partial state: stats untouched, clock still, next submit fine.
+        assert ctx.stats.submissions == 0
+        assert ctx.stats.requests == 0
+        assert ctx.stats.bytes_read == 0
+        assert clock.now == 0.0
+        assert ctx.submit([good]) == 1
+        events, t = ctx.poll()
+        assert events[0].data == b"0123" and t > 0
+
+    def test_failed_service_charges_nothing(self):
+        ctx, _ = _ctx()
+        with pytest.raises(StorageError):
+            ctx.service([IORequest(-1, 4)])
+        assert ctx.stats.submissions == 0
+        events, t = ctx.service([IORequest(0, 2)])
+        assert events[0].data == b"01" and ctx.stats.submissions == 1
+
+
+class TestAsyncSubmission:
+    def test_handle_inline(self):
+        """Without an executor the handle is serviced eagerly."""
+        ctx, clock = _ctx()
+        handle = ctx.submit_async([IORequest(0, 4, tag="a")])
+        assert isinstance(handle, AIOHandle) and handle.done()
+        assert clock.now == 0.0  # submission half never touches the clock
+        events, t = ctx.complete(handle)
+        assert events[0].data == b"0123"
+        assert clock.now == pytest.approx(t) and t > 0
+        assert ctx.stats.io_time == pytest.approx(t)
+
+    def test_handle_on_executor(self):
+        ctx, clock = _ctx()
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            handle = ctx.submit_async([IORequest(8, 4, tag="b")], executor=pool)
+            events, t = ctx.complete(handle)
+        assert events[0].data == b"89ab"
+        assert clock.now == pytest.approx(t)
+
+    def test_many_in_flight(self):
+        """Unlike submit/poll, async batches may overlap arbitrarily."""
+        ctx, clock = _ctx()
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            handles = [
+                ctx.submit_async([IORequest(i, 2, tag=i)], executor=pool)
+                for i in range(4)
+            ]
+            total = 0.0
+            for i, h in enumerate(handles):  # completion stays in plan order
+                events, t = ctx.complete(h)
+                assert events[0].tag == i
+                total += t
+        assert clock.now == pytest.approx(total)
+        assert ctx.stats.submissions == 4
+
+    def test_service_error_reraised_at_result(self):
+        ctx, clock = _ctx()
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            handle = ctx.submit_async([IORequest(999, 4)], executor=pool)
+            with pytest.raises(StorageError):
+                ctx.complete(handle)
+        assert clock.now == 0.0  # failed batches charge nothing
+
+    def test_thread_safe_stats(self):
+        """Concurrent service calls keep counters exact (lock-protected)."""
+        data = bytes(4096)
+        ctx, _ = _ctx(data=data)
+        reqs = [[IORequest(i * 4, 4)] for i in range(256)]
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(ctx.service, reqs))
+        assert ctx.stats.submissions == 256
+        assert ctx.stats.requests == 256
+        assert ctx.stats.bytes_read == 1024
+
+
+class TestRealizeIO:
+    def test_sleeps_service_time(self):
+        import time
+
+        store = TileStore(data=b"x" * 64)
+        # Big latency so the sleep is measurable but quick.
+        array = Raid0Array(n_devices=1, profile=DeviceProfile(latency=0.02))
+        ctx = AIOContext(
+            store=store, array=array, clock=SimClock(), realize_io=True
+        )
+        t0 = time.perf_counter()
+        _, t = ctx.service([IORequest(0, 8)])
+        wall = time.perf_counter() - t0
+        assert wall >= t > 0
 
 
 class TestStats:

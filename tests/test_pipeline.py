@@ -1,8 +1,9 @@
-"""Unit tests for the overlapped I/O-compute timeline (the *slide*)."""
+"""Unit tests for the overlapped I/O-compute timeline (the *slide*) and
+its wall-clock counterpart."""
 
 import pytest
 
-from repro.runtime.pipeline import PipelineTimeline
+from repro.runtime.pipeline import PipelineTimeline, WallOverlap
 from repro.util.timer import SimClock
 
 
@@ -58,3 +59,28 @@ class TestAccounting:
     def test_negative_rejected(self):
         with pytest.raises(ValueError):
             PipelineTimeline().step(-1.0, 0.0)
+
+
+class TestWallOverlap:
+    def test_record_and_fractions(self):
+        w = WallOverlap()
+        w.record_fetch(0.5, 0.1, prefetched=True)
+        w.record_fetch(0.5, 0.5, prefetched=False)  # serial: full stall
+        w.compute_busy += 1.0
+        w.elapsed = 2.0
+        assert w.io_busy == pytest.approx(1.0)
+        assert w.io_stall == pytest.approx(0.6)
+        assert w.batches == 2 and w.prefetched == 1
+        assert w.io_bound_fraction == pytest.approx(0.3)
+
+    def test_empty_fraction(self):
+        assert WallOverlap().io_bound_fraction == 0.0
+
+    def test_as_dict_round_trip(self):
+        w = WallOverlap()
+        w.record_fetch(0.2, 0.0, prefetched=True)
+        w.elapsed = 1.0
+        d = w.as_dict()
+        assert d["io_busy"] == pytest.approx(0.2)
+        assert d["prefetched"] == 1
+        assert d["io_bound_fraction"] == pytest.approx(0.0)

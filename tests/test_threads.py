@@ -1,8 +1,20 @@
-"""Unit tests for the dynamic row scheduler."""
+"""Unit tests for the dynamic row scheduler, the persistent worker pool,
+and the bounded prefetcher."""
 
 import os
+import threading
+import time
 
-from repro.runtime.threads import default_workers, dynamic_row_map
+import pytest
+
+from repro.runtime.threads import (
+    PREFETCH_THREAD_NAME,
+    Prefetcher,
+    WorkerPool,
+    default_workers,
+    dynamic_row_map,
+    resolve_workers,
+)
 
 
 class TestDynamicRowMap:
@@ -43,3 +55,129 @@ class TestDefaultWorkers:
 
     def test_positive(self):
         assert default_workers() >= 1
+
+
+class TestResolveWorkers:
+    def test_int_passthrough(self):
+        assert resolve_workers(3) == 3
+        assert resolve_workers(1) == 1
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            resolve_workers(0)
+        with pytest.raises(ValueError):
+            resolve_workers("many")
+
+    def test_auto_clamps_to_cores(self):
+        cores = os.cpu_count() or 1
+        old = os.environ.get("REPRO_WORKERS")
+        os.environ["REPRO_WORKERS"] = str(cores * 8)  # oversubscribed env
+        try:
+            assert resolve_workers("auto") == cores
+        finally:
+            if old is None:
+                del os.environ["REPRO_WORKERS"]
+            else:
+                os.environ["REPRO_WORKERS"] = old
+
+
+class TestWorkerPool:
+    def test_lazy_creation(self):
+        pool = WorkerPool(workers=2)
+        assert not pool.started
+        assert pool.map(lambda x: x + 1, [1, 2, 3]) == [2, 3, 4]
+        assert pool.started
+        pool.shutdown()
+
+    def test_reused_across_calls(self):
+        with WorkerPool(workers=2) as pool:
+            first = pool.executor
+            pool.map(str, range(10))
+            assert pool.executor is first  # no per-batch churn
+
+    def test_shutdown_idempotent_and_final(self):
+        pool = WorkerPool(workers=2)
+        pool.submit(lambda: None).result()
+        pool.shutdown()
+        pool.shutdown()
+        with pytest.raises(RuntimeError):
+            pool.executor  # noqa: B018
+
+    def test_dynamic_row_map_uses_pool(self):
+        with WorkerPool(workers=4) as pool:
+            out = dynamic_row_map(lambda x: x * 3, range(50), pool=pool)
+            assert out == [x * 3 for x in range(50)]
+            assert pool.started
+
+
+class TestPrefetcher:
+    def test_in_order_delivery(self):
+        jobs = [lambda i=i: i * i for i in range(20)]
+        with Prefetcher(jobs, depth=3) as pf:
+            assert [pf.get() for _ in range(20)] == [i * i for i in range(20)]
+
+    def test_bounded_depth(self):
+        """The producer never runs more than depth jobs ahead of consumption."""
+        started: "list[int]" = []
+        gate = threading.Event()
+
+        def job(i):
+            started.append(i)
+            return i
+
+        pf = Prefetcher([lambda i=i: job(i) for i in range(10)], depth=2)
+        try:
+            deadline = time.time() + 2.0
+            while len(started) < 2 and time.time() < deadline:
+                time.sleep(0.005)
+            time.sleep(0.05)  # give an over-eager producer time to overrun
+            assert len(started) <= 2  # nothing consumed yet -> at most depth
+            assert pf.get() == 0
+            deadline = time.time() + 2.0
+            while len(started) < 3 and time.time() < deadline:
+                time.sleep(0.005)
+            assert len(started) <= 3
+        finally:
+            gate.set()
+            pf.close()
+
+    def test_job_exception_surfaces_on_get(self):
+        def boom():
+            raise ValueError("job failed")
+
+        pf = Prefetcher([lambda: 1, boom, lambda: 3], depth=2)
+        assert pf.get() == 1
+        with pytest.raises(ValueError, match="job failed"):
+            pf.get()
+        assert not any(
+            t.name.startswith(PREFETCH_THREAD_NAME) for t in threading.enumerate()
+        )
+
+    def test_close_midway_leaves_no_thread(self):
+        pf = Prefetcher([lambda i=i: i for i in range(100)], depth=1)
+        assert pf.get() == 0
+        pf.close()
+        assert not any(
+            t.name.startswith(PREFETCH_THREAD_NAME) for t in threading.enumerate()
+        )
+
+    def test_close_while_blocked_on_full_queue(self):
+        """close() must unstick a producer waiting for a free slot."""
+        slow = [lambda i=i: i for i in range(50)]
+        pf = Prefetcher(slow, depth=1)
+        time.sleep(0.05)  # producer fills its single slot and blocks
+        pf.close()
+        assert not any(
+            t.name.startswith(PREFETCH_THREAD_NAME) for t in threading.enumerate()
+        )
+
+    def test_get_past_end_raises(self):
+        pf = Prefetcher([lambda: 42], depth=1)
+        assert pf.get() == 42
+        with pytest.raises(IndexError):
+            pf.get()
+        pf.close()
+
+    def test_depth_validation(self):
+        with pytest.raises(ValueError):
+            Prefetcher([], depth=0)
