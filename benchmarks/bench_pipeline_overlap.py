@@ -107,6 +107,10 @@ def main(argv=None) -> int:
     ap.add_argument("--algos", nargs="*", default=sorted(ALGOS),
                     choices=sorted(ALGOS))
     ap.add_argument("--out", default=os.path.join(ROOT, "BENCH_pipeline.json"))
+    ap.add_argument("--trace", default=None, metavar="TRACE_JSON",
+                    help="after the timed runs, redo one device-paced "
+                         "overlapped run with repro.obs tracing on and "
+                         "write a Chrome trace_event JSON here")
     args = ap.parse_args(argv)
 
     if 0 not in args.depths:
@@ -198,6 +202,30 @@ def main(argv=None) -> int:
         json.dump(payload, fh, indent=2)
         fh.write("\n")
     print(f"wrote {args.out}")
+
+    if args.trace:
+        # One extra traced run (not timed — tracing is opt-in precisely so
+        # the measured runs stay untouched) for the Perfetto overlap view.
+        from repro.obs import write_chrome
+
+        depth = max(args.depths)
+        name = args.algos[0]
+        cfg = EngineConfig(
+            memory_bytes=args.memory_kb * 1024,
+            segment_bytes=args.segment_kb * 1024,
+            prefetch_depth=depth,
+            realize_io=True,
+            device_profile=DeviceProfile(read_bandwidth=args.bandwidth),
+            workers="auto",
+            trace=True,
+        )
+        with GStoreEngine(tg, cfg) as engine:
+            engine.run(ALGOS[name]())
+            write_chrome(
+                engine.tracer.records(), args.trace,
+                counters=engine.tracer.registry.as_dict(),
+            )
+        print(f"wrote trace of {name} at depth {depth} to {args.trace}")
 
     # The acceptance gate: with prefetch_depth >= 1 the device-paced wall
     # time must improve on the serial baseline.

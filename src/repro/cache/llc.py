@@ -44,7 +44,13 @@ class SetAssocCache:
     traces the experiments feed are modest after sampling).
     """
 
-    def __init__(self, size_bytes: int, line_bytes: int = 64, ways: int = 16):
+    def __init__(
+        self,
+        size_bytes: int,
+        line_bytes: int = 64,
+        ways: int = 16,
+        counters: "object | None" = None,
+    ):
         if size_bytes <= 0 or line_bytes <= 0 or ways <= 0:
             raise StorageError("cache geometry must be positive")
         if not is_pow2(line_bytes):
@@ -59,6 +65,9 @@ class SetAssocCache:
         self.ways = ways
         self.n_sets = size_bytes // (line_bytes * ways)
         self.stats = CacheStats()
+        #: Optional :class:`~repro.obs.counters.MetricsRegistry` receiving
+        #: the ``llc.*`` counters alongside :attr:`stats`.
+        self.counters = counters
         # Per-set LRU list of tags, most-recent last.
         self._sets: "list[list[int]]" = [[] for _ in range(self.n_sets)]
 
@@ -93,6 +102,10 @@ class SetAssocCache:
         local.hits = hits
         local.misses = misses
         self.stats.merge(local)
+        if self.counters is not None:
+            self.counters.counter("llc.operations").add(n)
+            self.counters.counter("llc.hits").add(hits)
+            self.counters.counter("llc.misses").add(misses)
         return local
 
     def contains(self, address: int) -> bool:

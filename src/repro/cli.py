@@ -10,6 +10,11 @@ Commands
     Build the tile format on disk (data file + start-edge + metadata).
 ``run ALGO NAME``
     Run an algorithm semi-externally and print the statistics summary.
+``trace ALGO [NAME]``
+    Run with the observability layer on and export the trace — Chrome
+    ``trace_event`` JSON (load in Perfetto) or JSONL.  ``--rmat-scale N``
+    substitutes the 2^N R-MAT reference graph of the pipeline benchmark
+    for a registered dataset.
 ``bench EXPERIMENT``
     Regenerate one paper table/figure and print it.
 """
@@ -159,6 +164,48 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.bench.harness import graphs, scaled_config
+    from repro.engine.gstore import GStoreEngine
+    from repro.obs import write_chrome, write_jsonl
+
+    if args.rmat_scale is not None:
+        from repro.format.tiles import TiledGraph
+        from repro.graphgen.rmat import rmat
+
+        # The pipeline benchmark's reference graph (bench_pipeline_overlap).
+        el = rmat(args.rmat_scale, edge_factor=8, seed=42)
+        tg = TiledGraph.from_edge_list(el, tile_bits=10, group_q=16)
+    elif args.name is not None:
+        tg = graphs().tiled(args.name, tier=args.tier)
+    else:
+        raise SystemExit("trace needs a dataset NAME or --rmat-scale")
+    algo = _make_algorithm(args.algorithm, root=args.root, k=args.k)
+    cfg = scaled_config(tg, memory_fraction=args.memory_fraction,
+                        n_ssds=args.ssds)
+    cfg.trace = True
+    cfg.prefetch_depth = args.depth
+    cfg.workers = "auto"
+    cfg.realize_io = args.device_paced
+    with GStoreEngine(tg, cfg) as engine:
+        stats = engine.run(algo)
+        records = engine.tracer.records()
+        counters = engine.tracer.registry.as_dict()
+    if args.format == "jsonl":
+        write_jsonl(records, args.out)
+    else:
+        write_chrome(records, args.out, clock=args.clock, counters=counters)
+    print(stats.summary())
+    tracks = sorted({r.track for r in records if r.ts is not None})
+    print(
+        f"trace: {len(records)} spans on {len(tracks)} wall tracks "
+        f"({', '.join(tracks)}) + simulated lanes"
+    )
+    print(f"wrote {args.out} — open it at https://ui.perfetto.dev "
+          f"(or chrome://tracing)")
+    return 0
+
+
 def cmd_fsck(args: argparse.Namespace) -> int:
     from repro.format.tiles import TiledGraph
     from repro.format.validate import check_tiled_graph
@@ -227,6 +274,30 @@ def build_parser() -> argparse.ArgumentParser:
     pr.add_argument("--no-scr", action="store_true",
                     help="use the two-segment base policy instead of SCR")
     pr.set_defaults(fn=cmd_run)
+
+    pt = sub.add_parser(
+        "trace", help="run with tracing on and export a Chrome/JSONL trace"
+    )
+    pt.add_argument("algorithm", choices=_ALGORITHMS)
+    pt.add_argument("name", nargs="?", default=None)
+    pt.add_argument("--tier", default=None, choices=["tiny", "small", "large"])
+    pt.add_argument("--rmat-scale", type=int, default=None,
+                    help="trace the 2^N R-MAT reference graph instead of a "
+                         "registered dataset")
+    pt.add_argument("--root", type=int, default=0)
+    pt.add_argument("--k", type=int, default=2, help="k for kcore")
+    pt.add_argument("--memory-fraction", type=float, default=0.25)
+    pt.add_argument("--ssds", type=int, default=1)
+    pt.add_argument("--depth", type=int, default=2,
+                    help="prefetch depth (0 = serial baseline)")
+    pt.add_argument("--device-paced", action="store_true",
+                    help="sleep simulated I/O time for real (realize_io)")
+    pt.add_argument("--out", default="trace.json")
+    pt.add_argument("--format", default="chrome", choices=["chrome", "jsonl"])
+    pt.add_argument("--clock", default="wall", choices=["wall", "sim"],
+                    help="chrome export timeline: real threads (wall) or "
+                         "the deterministic simulated lanes (sim)")
+    pt.set_defaults(fn=cmd_trace)
 
     pf = sub.add_parser("fsck", help="audit an on-disk tile graph")
     pf.add_argument("directory")

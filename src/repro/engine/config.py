@@ -13,6 +13,9 @@ Every optimisation the paper ablates is a field here:
 * ``prefetch_depth`` — the *real* (wall-clock) prefetch pipeline: how many
   segment batches a background worker fetches + decodes ahead of compute
   (0 = strictly serial fetch-then-compute, the ablation baseline).
+
+``trace`` is not an ablation but the observability switch: it turns on
+the ``repro.obs`` span tracer and counters registry for the run.
 """
 
 from __future__ import annotations
@@ -68,6 +71,11 @@ class EngineConfig:
     #: wall clock behaves like the modeled device (used by the
     #: pipeline-overlap benchmark to demonstrate real overlap).
     realize_io: bool = False
+    #: Record an execution trace (``repro.obs``): spans on both the wall
+    #: and the simulated clock, plus the counters registry.  Off by
+    #: default — the disabled path is a no-op fast path (≤2 % overhead).
+    #: Export via ``engine.tracer`` or ``python -m repro trace``.
+    trace: bool = False
     #: Safety valve on iteration count (algorithms have their own limits).
     max_iterations: int = 100_000
     #: When set, the graph lives on tiered storage: this fraction of the

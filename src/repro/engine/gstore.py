@@ -46,6 +46,7 @@ from repro.errors import AlgorithmError
 from repro.format.tiles import TiledGraph
 from repro.memory.scr import SCRScheduler, SlidePlan
 from repro.memory.segments import MemoryBudget, TileBuffer
+from repro.obs import NULL_TRACER, Tracer
 from repro.storage.aio import AIOContext
 from repro.storage.device import DeviceProfile
 from repro.storage.file import TileStore
@@ -122,11 +123,19 @@ class GStoreEngine:
             )
         else:
             self.array = ssd
+        #: Observability (``repro.obs``): a real tracer when
+        #: ``config.trace`` is set, the shared no-op otherwise.  Spans and
+        #: counters accumulate for the engine's lifetime; export them with
+        #: :mod:`repro.obs.export` or ``python -m repro trace``.
+        self.tracer = Tracer(clock=self.clock) if self.config.trace else NULL_TRACER
         self.store = TileStore.from_tiled_graph(graph)
         self.aio = AIOContext(
             store=self.store, array=self.array, clock=self.clock,
             mode=self.config.io_mode, realize_io=self.config.realize_io,
+            tracer=self.tracer,
         )
+        if self.tracer.enabled:
+            self._wire_device_counters()
         #: Resolved row-parallel worker count ("auto" clamps to the cores
         #: actually present; 1 routes through the serial path).
         self.workers = resolve_workers(self.config.workers)
@@ -145,6 +154,19 @@ class GStoreEngine:
     # ------------------------------------------------------------------ #
     # Lifecycle
     # ------------------------------------------------------------------ #
+
+    def _wire_device_counters(self) -> None:
+        """Point every simulated device at the run's counter registry."""
+        reg = self.tracer.registry
+        stack = [self.array]
+        while stack:
+            arr = stack.pop()
+            for dev in getattr(arr, "devices", ()):
+                dev.counters = reg
+            for sub in ("ssd", "hdd"):
+                nxt = getattr(arr, sub, None)
+                if nxt is not None:
+                    stack.append(nxt)
 
     @property
     def pool(self) -> WorkerPool:
@@ -180,18 +202,24 @@ class GStoreEngine:
         self._rewind_key = None
         self._rewind_merged = None
         self.wall_overlap = WallOverlap()
-        with WallTimer() as wall:
+        with WallTimer() as wall, self.tracer.span(
+            "run", cat="engine", algorithm=algorithm.name, graph=g.info.name
+        ):
             algorithm.setup(g)
             budget = MemoryBudget(
                 total_bytes=cfg.memory_bytes, segment_bytes=cfg.segment_bytes
             )
-            scr = SCRScheduler(budget=budget, policy=cfg.cache_policy)
+            scr = SCRScheduler(
+                budget=budget, policy=cfg.cache_policy, tracer=self.tracer
+            )
             stats = RunStats(
                 engine=self.name,
                 algorithm=algorithm.name,
                 graph=g.info.name,
             )
-            timeline = PipelineTimeline(clock=self.clock, overlap=cfg.overlap)
+            timeline = PipelineTimeline(
+                clock=self.clock, overlap=cfg.overlap, tracer=self.tracer
+            )
 
             iteration = 0
             while iteration < cfg.max_iterations:
@@ -226,6 +254,8 @@ class GStoreEngine:
             "prefetch_depth": cfg.prefetch_depth,
             "realize_io": cfg.realize_io,
         }
+        if self.tracer.enabled:
+            stats.extra["counters"] = self.tracer.registry.as_dict()
         return stats
 
     # ------------------------------------------------------------------ #
@@ -239,114 +269,154 @@ class GStoreEngine:
     ) -> IterationStats:
         cfg = self.config
         g = self.graph
+        tracer = self.tracer
         it = IterationStats(iteration=iteration)
         elapsed_before = timeline.totals.elapsed
-        algorithm.begin_iteration(iteration)
+        with tracer.span("iteration", cat="engine", iteration=iteration):
+            algorithm.begin_iteration(iteration)
 
-        needed = select_positions(
-            g,
-            algorithm.rows_active(),
-            algorithm.cols_active(),
-            algorithm.tile_mask(g.tile_rows, g.tile_cols),
-        )
-        cached, to_fetch = scr.split_cached(needed, g.start_edge)
-        # The slide schedule is fixed before anything executes, so the
-        # prefetcher can run arbitrarily far ahead of compute.
-        plan: SlidePlan = scr.segment_plan(to_fetch, g.start_edge)
-        fused = cfg.fused and algorithm.supports_fused
+            with tracer.span("select", cat="engine", iteration=iteration):
+                needed = select_positions(
+                    g,
+                    algorithm.rows_active(),
+                    algorithm.cols_active(),
+                    algorithm.tile_mask(g.tile_rows, g.tile_cols),
+                )
+                cached, to_fetch = scr.split_cached(needed, g.start_edge)
+                # The slide schedule is fixed before anything executes, so
+                # the prefetcher can run arbitrarily far ahead of compute.
+                plan: SlidePlan = scr.segment_plan(to_fetch, g.start_edge)
+            fused = cfg.fused and algorithm.supports_fused
 
-        prefetcher: "Prefetcher | None" = None
-        if cfg.prefetch_depth > 0 and plan.n_batches > 0:
-            jobs = [
-                (lambda b=batch: self._prepare(list(b), fused))
-                for batch in plan.batches
-            ]
-            prefetcher = Prefetcher(jobs, depth=cfg.prefetch_depth)
-
-        try:
-            # --- Rewind: consume the pool before any I/O (§VI-D). ---
-            if cached:
-                rewound = scr.cached_buffers(cached)
-                if prefetcher is not None:
-                    # Rewind decode off the critical path: it runs on the
-                    # worker pool concurrently with the prefetcher's fetch
-                    # of the first slide batches.
-                    views = self.pool.submit(
-                        self._rewind_views, algorithm, cached, rewound
-                    ).result()
-                else:
-                    views = self._rewind_views(algorithm, cached, rewound)
-                tc0 = _time.perf_counter()
-                edges = execute_batch(
-                    algorithm, views, fused=cfg.fused, workers=self.workers,
-                    pool=self.pool if self.workers > 1 else None,
-                )
-                self.wall_overlap.compute_busy += _time.perf_counter() - tc0
-                t = cfg.cost_model.compute_time(
-                    algorithm.name, edges * algorithm.direction_passes, len(cached)
-                )
-                timeline.compute_only(t)
-                it.compute_time += t
-                it.tiles_from_cache += len(cached)
-                it.edges_processed += edges
-                se = g.start_edge.start_edge
-                pos_arr = np.asarray(cached, dtype=np.int64)
-                it.bytes_from_cache += (
-                    int((se[pos_arr + 1] - se[pos_arr]).sum())
-                    * g.start_edge.tuple_bytes
-                )
-                # Rewound tiles stay pooled only if still useful; re-offer.
-                scr.offer(
-                    rewound,
-                    g.tile_rows,
-                    g.tile_cols,
-                    algorithm.rows_active_next(),
-                    g.info.symmetric,
-                    algorithm.cols_active_next(),
+            prefetcher: "Prefetcher | None" = None
+            if cfg.prefetch_depth > 0 and plan.n_batches > 0:
+                jobs = [
+                    (lambda b=batch: self._prepare(list(b), fused))
+                    for batch in plan.batches
+                ]
+                prefetcher = Prefetcher(
+                    jobs, depth=cfg.prefetch_depth, tracer=tracer
                 )
 
-            # --- Slide: overlapped fetch/compute over segment batches. ---
-            # Batch k computes on the engine thread while the prefetcher
-            # prepares k+1..k+depth; each batch then commits (clock, stats,
-            # cache offer) in plan order.
-            prev: "_Prepared | None" = None
-            for k in range(plan.n_batches):
-                comp_t = 0.0
-                tc0 = _time.perf_counter()
+            try:
+                # --- Rewind: consume the pool before any I/O (§VI-D). ---
+                if cached:
+                    rewound = scr.cached_buffers(cached)
+                    if prefetcher is not None:
+                        # Rewind decode off the critical path: it runs on
+                        # the worker pool concurrently with the
+                        # prefetcher's fetch of the first slide batches.
+                        views = self.pool.submit(
+                            self._rewind_views, algorithm, cached, rewound
+                        ).result()
+                    else:
+                        views = self._rewind_views(algorithm, cached, rewound)
+                    tc0 = _time.perf_counter()
+                    with tracer.span(
+                        "compute", cat="compute", phase="rewind",
+                        tiles=len(cached),
+                    ):
+                        edges = execute_batch(
+                            algorithm, views, fused=cfg.fused,
+                            workers=self.workers,
+                            pool=self.pool if self.workers > 1 else None,
+                        )
+                    self.wall_overlap.compute_busy += _time.perf_counter() - tc0
+                    t = cfg.cost_model.compute_time(
+                        algorithm.name, edges * algorithm.direction_passes,
+                        len(cached),
+                    )
+                    timeline.compute_only(t)
+                    it.compute_time += t
+                    it.tiles_from_cache += len(cached)
+                    it.edges_processed += edges
+                    se = g.start_edge.start_edge
+                    pos_arr = np.asarray(cached, dtype=np.int64)
+                    it.bytes_from_cache += (
+                        int((se[pos_arr + 1] - se[pos_arr]).sum())
+                        * g.start_edge.tuple_bytes
+                    )
+                    # Rewound tiles stay pooled only if still useful;
+                    # re-offer.
+                    scr.offer(
+                        rewound,
+                        g.tile_rows,
+                        g.tile_cols,
+                        algorithm.rows_active_next(),
+                        g.info.symmetric,
+                        algorithm.cols_active_next(),
+                    )
+
+                # --- Slide: overlapped fetch/compute over segment batches.
+                # Batch k computes on the engine thread while the
+                # prefetcher prepares k+1..k+depth; each batch then commits
+                # (clock, stats, cache offer) in plan order.
+                prev: "_Prepared | None" = None
+                for k in range(plan.n_batches):
+                    comp_t = 0.0
+                    tc0 = _time.perf_counter()
+                    if prev is not None:
+                        with tracer.span(
+                            "compute", cat="compute", phase="slide",
+                            batch=k - 1,
+                        ):
+                            comp_t = self._process_batch(
+                                algorithm, scr, prev.batch, it
+                            )
+                    tc1 = _time.perf_counter()
+                    self.wall_overlap.compute_busy += tc1 - tc0
+                    if prefetcher is not None:
+                        with tracer.span("stall", cat="pipeline", batch=k):
+                            prep: _Prepared = prefetcher.get()
+                        stall = _time.perf_counter() - tc1
+                    else:
+                        prep = self._prepare(list(plan.batches[k]), fused)
+                        stall = prep.wall  # serial path: compute waits it out
+                    self.wall_overlap.record_fetch(
+                        prep.wall, stall, prefetched=prefetcher is not None
+                    )
+                    self.aio.commit(prep.io_time)
+                    timeline.step(prep.io_time, comp_t)
+                    it.io_time += prep.io_time
+                    it.compute_time += comp_t
+                    it.bytes_read += prep.bytes_read
+                    it.tiles_fetched += len(prep.batch.buffers)
+                    prev = prep
+
+                # Pipeline drain: the last fetched batch computes with no
+                # I/O.
                 if prev is not None:
-                    comp_t = self._process_batch(algorithm, scr, prev.batch, it)
-                tc1 = _time.perf_counter()
-                self.wall_overlap.compute_busy += tc1 - tc0
+                    tc0 = _time.perf_counter()
+                    with tracer.span(
+                        "compute", cat="compute", phase="drain",
+                        batch=plan.n_batches - 1,
+                    ):
+                        comp_t = self._process_batch(
+                            algorithm, scr, prev.batch, it
+                        )
+                    self.wall_overlap.compute_busy += _time.perf_counter() - tc0
+                    timeline.compute_only(comp_t)
+                    it.compute_time += comp_t
+            finally:
+                # An algorithm exception must not leak the prefetch thread.
                 if prefetcher is not None:
-                    prep: _Prepared = prefetcher.get()
-                    stall = _time.perf_counter() - tc1
-                else:
-                    prep = self._prepare(list(plan.batches[k]), fused)
-                    stall = prep.wall  # serial path: compute waits it out
-                self.wall_overlap.record_fetch(
-                    prep.wall, stall, prefetched=prefetcher is not None
-                )
-                self.aio.commit(prep.io_time)
-                timeline.step(prep.io_time, comp_t)
-                it.io_time += prep.io_time
-                it.compute_time += comp_t
-                it.bytes_read += prep.bytes_read
-                it.tiles_fetched += len(prep.batch.buffers)
-                prev = prep
-
-            # Pipeline drain: the last fetched batch computes with no I/O.
-            if prev is not None:
-                tc0 = _time.perf_counter()
-                comp_t = self._process_batch(algorithm, scr, prev.batch, it)
-                self.wall_overlap.compute_busy += _time.perf_counter() - tc0
-                timeline.compute_only(comp_t)
-                it.compute_time += comp_t
-        finally:
-            # An algorithm exception must not leak the prefetch thread.
-            if prefetcher is not None:
-                prefetcher.close()
+                    prefetcher.close()
 
         it.elapsed = timeline.totals.elapsed - elapsed_before
+        if tracer.enabled:
+            # Flush the iteration's aggregates into the counters registry;
+            # summed over iterations these match RunStats field for field
+            # (asserted by tests/test_obs.py).
+            reg = tracer.registry
+            reg.counter("engine.iterations").add(1)
+            reg.counter("engine.batches").add(plan.n_batches)
+            reg.counter("engine.io_time_sim").add(it.io_time)
+            reg.counter("engine.compute_time_sim").add(it.compute_time)
+            reg.counter("engine.bytes_read").add(it.bytes_read)
+            reg.counter("engine.bytes_from_cache").add(it.bytes_from_cache)
+            reg.counter("engine.tiles_fetched").add(it.tiles_fetched)
+            reg.counter("engine.tiles_from_cache").add(it.tiles_from_cache)
+            reg.counter("engine.edges_processed").add(it.edges_processed)
         return it
 
     # ------------------------------------------------------------------ #
@@ -362,36 +432,41 @@ class GStoreEngine:
         """
         g = self.graph
         t0 = _time.perf_counter()
-        requests = merge_requests(batch_positions, g.start_edge)
-        events, io_t = self.aio.service(requests)
-        buffers: "list[TileBuffer]" = []
-        views: list = []
-        edges = 0
-        tb = g.start_edge.tuple_bytes
-        if fused:
-            # Batch-level decode: one widened global-ID buffer for the
-            # whole batch, one run-level view per extent — the fused
-            # kernels concatenate everything anyway, so per-tile decoding
-            # here would be pure overhead.
-            views, tiles = g.decode_batch(
-                [(ev.tag, ev.data) for ev in events]
-            )
-            views = g.split_run_views(views, _RUN_SPLIT)
-            for pos, i, j, raw in tiles:
-                buffers.append(TileBuffer(pos=pos, i=i, j=j, data=raw))
-        else:
-            for ev in events:
-                # One vectorised decode per merged extent: a single
-                # frombuffer + global-ID widening covers the whole run.
-                for tv, raw in g.decode_run(ev.tag, ev.data):
-                    buffers.append(
-                        TileBuffer(
-                            pos=tv.pos, i=tv.i, j=tv.j, data=raw, view=tv
-                        )
+        tracer = self.tracer
+        with tracer.span("prepare", cat="pipeline", tiles=len(batch_positions)):
+            requests = merge_requests(batch_positions, g.start_edge)
+            events, io_t = self.aio.service(requests)
+            buffers: "list[TileBuffer]" = []
+            views: list = []
+            edges = 0
+            tb = g.start_edge.tuple_bytes
+            with tracer.span("decode", cat="decode", tiles=len(batch_positions)):
+                if fused:
+                    # Batch-level decode: one widened global-ID buffer for
+                    # the whole batch, one run-level view per extent — the
+                    # fused kernels concatenate everything anyway, so
+                    # per-tile decoding here would be pure overhead.
+                    views, tiles = g.decode_batch(
+                        [(ev.tag, ev.data) for ev in events]
                     )
-                    views.append(tv)
-        for ev in events:
-            edges += len(ev.data) // tb
+                    views = g.split_run_views(views, _RUN_SPLIT)
+                    for pos, i, j, raw in tiles:
+                        buffers.append(TileBuffer(pos=pos, i=i, j=j, data=raw))
+                else:
+                    for ev in events:
+                        # One vectorised decode per merged extent: a single
+                        # frombuffer + global-ID widening covers the whole
+                        # run.
+                        for tv, raw in g.decode_run(ev.tag, ev.data):
+                            buffers.append(
+                                TileBuffer(
+                                    pos=tv.pos, i=tv.i, j=tv.j, data=raw,
+                                    view=tv,
+                                )
+                            )
+                            views.append(tv)
+                for ev in events:
+                    edges += len(ev.data) // tb
         return _Prepared(
             batch=_Batch(buffers=buffers, views=views, edges=edges),
             io_time=io_t,
@@ -418,11 +493,15 @@ class GStoreEngine:
             # buffer lifetime.
             misses = [buf for buf in rewound if buf.view is None]
             if misses:
-                decoded = g.decode_tiles(
-                    [buf.pos for buf in misses], [buf.data for buf in misses]
-                )
-                for buf, tv in zip(misses, decoded):
-                    buf.view = tv
+                with self.tracer.span(
+                    "rewind.decode", cat="decode", tiles=len(misses)
+                ):
+                    decoded = g.decode_tiles(
+                        [buf.pos for buf in misses],
+                        [buf.data for buf in misses],
+                    )
+                    for buf, tv in zip(misses, decoded):
+                        buf.view = tv
             return [buf.view for buf in rewound]
         if cached == self._rewind_key:
             return self._rewind_merged
@@ -431,12 +510,15 @@ class GStoreEngine:
         # byte-adjacent extents and batch-decoded straight off the backing
         # buffer — no per-tile views, no simulated I/O (the pool already
         # paid for these bytes).
-        runs = merge_requests(cached, g.start_edge)
-        views, _ = g.decode_batch(
-            [(r.tag, self.store.read(r.offset, r.size)) for r in runs],
-            with_tiles=False,
-        )
-        views = g.split_run_views(views, _RUN_SPLIT)
+        with self.tracer.span(
+            "rewind.decode", cat="decode", tiles=len(cached)
+        ):
+            runs = merge_requests(cached, g.start_edge)
+            views, _ = g.decode_batch(
+                [(r.tag, self.store.read(r.offset, r.size)) for r in runs],
+                with_tiles=False,
+            )
+            views = g.split_run_views(views, _RUN_SPLIT)
         self._rewind_key = list(cached)
         self._rewind_merged = views
         return views

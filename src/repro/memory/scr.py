@@ -25,6 +25,7 @@ import numpy as np
 from repro.format.startedge import StartEdgeIndex
 from repro.memory.proactive import tiles_needed_for_rows
 from repro.memory.segments import CachePool, MemoryBudget, TileBuffer
+from repro.obs.trace import NULL_TRACER
 
 
 class CachePolicy(enum.Enum):
@@ -78,6 +79,9 @@ class SCRScheduler:
     policy: CachePolicy = CachePolicy.SCR
     stats: SCRStats = field(default_factory=SCRStats)
     pool: CachePool = None  # type: ignore[assignment]
+    #: Observability hook: proactive analysis runs under a ``scr.analyse``
+    #: span and the ``scr.*`` counters mirror :class:`SCRStats`.
+    tracer: object = NULL_TRACER
 
     def __post_init__(self) -> None:
         if self.pool is None:
@@ -105,10 +109,15 @@ class SCRScheduler:
         to_fetch = arr[~mask].tolist()
         if cached:
             se = start_edge.start_edge
-            self.stats.cache_hits += len(cached)
-            self.stats.bytes_from_cache += (
+            hit_bytes = (
                 int((se[hit + 1] - se[hit]).sum()) * start_edge.tuple_bytes
             )
+            self.stats.cache_hits += len(cached)
+            self.stats.bytes_from_cache += hit_bytes
+            if self.tracer.enabled:
+                reg = self.tracer.registry
+                reg.counter("scr.cache_hits").add(len(cached))
+                reg.counter("scr.bytes_from_cache").add(hit_bytes)
         return cached, to_fetch
 
     def cached_buffer(self, pos: int) -> TileBuffer:
@@ -198,6 +207,7 @@ class SCRScheduler:
         keep_l = keep_now[[buf.pos for buf in buffers]].tolist()
         resident = self.pool._tiles
         analysed = False
+        cached_before = self.stats.tiles_cached
         for buf, keep in zip(buffers, keep_l):
             if not keep:
                 continue
@@ -221,6 +231,10 @@ class SCRScheduler:
                     self.stats.tiles_cached += 1
             # else: even after analysis there is no room — drop the tile
             # (it will be re-fetched next iteration if needed).
+        if self.tracer.enabled:
+            self.tracer.registry.counter("scr.tiles_cached").add(
+                self.stats.tiles_cached - cached_before
+            )
 
     def _analyse(
         self,
@@ -232,17 +246,25 @@ class SCRScheduler:
     ) -> int:
         """Evict resident tiles the metadata says are not needed next."""
         self.stats.analyses += 1
+        self.tracer.registry.counter("scr.analyses").add(1)
         residents = self.pool.positions()
         if not residents:
             return 0
-        res = np.asarray(residents, dtype=np.int64)
-        keep = tiles_needed_for_rows(
-            tile_rows[res], tile_cols[res], row_active_next, symmetric,
-            col_active=col_active_next,
-        )
-        victims = res[~keep].tolist()
-        self.pool.evict(victims)
-        self.stats.tiles_evicted += len(victims)
+        with self.tracer.span(
+            "scr.analyse", cat="cache", residents=len(residents)
+        ):
+            res = np.asarray(residents, dtype=np.int64)
+            keep = tiles_needed_for_rows(
+                tile_rows[res], tile_cols[res], row_active_next, symmetric,
+                col_active=col_active_next,
+            )
+            victims = res[~keep].tolist()
+            self.pool.evict(victims)
+            self.stats.tiles_evicted += len(victims)
+            if self.tracer.enabled:
+                self.tracer.registry.counter("scr.tiles_evicted").add(
+                    len(victims)
+                )
         return len(victims)
 
     def end_iteration(

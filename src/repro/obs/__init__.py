@@ -1,0 +1,49 @@
+"""``repro.obs`` — zero-dependency observability: spans, counters, exports.
+
+Three pieces (docs/OBSERVABILITY.md is the narrative reference):
+
+* :mod:`repro.obs.trace` — a span tracer on two clocks (wall + simulated),
+  thread-safe, with a no-op fast path when tracing is disabled;
+* :mod:`repro.obs.counters` — a flat counters/gauges registry shared by
+  every instrumented subsystem;
+* :mod:`repro.obs.export` — Chrome ``trace_event`` JSON (Perfetto) and
+  JSONL exporters, plus the matching parsers.
+
+Enable with ``EngineConfig(trace=True)``; the engine then exposes
+``engine.tracer`` and attaches the counter snapshot to
+``RunStats.extra["counters"]``.  ``python -m repro trace ...`` wraps the
+whole flow from the command line.
+"""
+
+from repro.obs.counters import (
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    NullRegistry,
+)
+from repro.obs.export import (
+    parse_chrome,
+    parse_jsonl,
+    to_chrome,
+    to_jsonl,
+    write_chrome,
+    write_jsonl,
+)
+from repro.obs.trace import NULL_TRACER, NullTracer, SpanRecord, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NullTracer",
+    "NULL_TRACER",
+    "SpanRecord",
+    "Tracer",
+    "to_chrome",
+    "to_jsonl",
+    "write_chrome",
+    "write_jsonl",
+    "parse_chrome",
+    "parse_jsonl",
+]

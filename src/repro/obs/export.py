@@ -1,0 +1,212 @@
+"""Trace exporters: Chrome ``trace_event`` JSON and JSONL.
+
+* :func:`to_chrome` / :func:`write_chrome` produce the Trace Event Format
+  object (``{"traceEvents": [...]}``) that Perfetto and ``chrome://tracing``
+  load directly.  ``clock="wall"`` (default) lays spans out on the real
+  timeline with one track per thread — the prefetch worker's
+  ``fetch``/``decode`` spans visibly run in parallel with the engine
+  thread's ``compute`` spans.  ``clock="sim"`` exports the simulated
+  timeline instead (the ``sim:io`` / ``sim:compute`` lanes); that export
+  is deterministic, so two runs of the same workload diff cleanly
+  regardless of prefetch depth or thread scheduling.
+* :func:`to_jsonl` / :func:`write_jsonl` emit one JSON object per
+  :class:`~repro.obs.trace.SpanRecord` — the lossless archival format —
+  and :func:`parse_jsonl` / :func:`parse_chrome` read both formats back
+  into records (the round-trip the schema tests pin down).
+
+Timestamps follow the Trace Event spec: microseconds, ``ph: "X"``
+complete events, with ``M`` metadata events naming processes and threads.
+Counter totals ride along under ``metadata.counters``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+
+from repro.obs.trace import SpanRecord
+
+#: pid used for real-thread tracks and for the simulated lanes.
+WALL_PID = 1
+SIM_PID = 2
+
+_S_TO_US = 1e6
+
+
+def _tid_map(tracks: "list[str]") -> "dict[str, int]":
+    """Stable track -> tid assignment: engine thread first, then sorted."""
+    ordered = sorted(tracks, key=lambda t: (t != "MainThread", t))
+    return {t: i + 1 for i, t in enumerate(ordered)}
+
+
+def to_chrome(
+    records: "list[SpanRecord]",
+    clock: str = "wall",
+    counters: "dict | None" = None,
+) -> dict:
+    """Build a Chrome Trace Event Format object from span records.
+
+    ``clock="wall"`` selects the records with wall timestamps (context-
+    manager spans and instants); ``clock="sim"`` selects the simulated
+    intervals and sorts them for byte-stable output.  Returns the JSON-
+    serialisable object; pass it to :func:`json.dump` or use
+    :func:`write_chrome`.
+    """
+    if clock not in ("wall", "sim"):
+        raise ValueError(f"clock must be 'wall' or 'sim', got {clock!r}")
+    events: "list[dict]" = []
+    if clock == "wall":
+        recs = [r for r in records if r.ts is not None]
+        pid = WALL_PID
+        process = "repro (wall clock)"
+
+        def key(r: SpanRecord):
+            return (r.ts, r.track, -(r.dur or 0.0))
+
+        def interval(r: SpanRecord):
+            return r.ts, r.dur or 0.0
+    else:
+        recs = [r for r in records if r.sim_dur is not None]
+        pid = SIM_PID
+        process = "repro (simulated clock)"
+
+        def key(r: SpanRecord):
+            return (r.sim_ts, r.track, r.name)
+
+        def interval(r: SpanRecord):
+            return r.sim_ts, r.sim_dur
+
+    recs = sorted(recs, key=key)
+    tids = _tid_map(sorted({r.track for r in recs}))
+    events.append(
+        {
+            "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+            "args": {"name": process},
+        }
+    )
+    for track, tid in sorted(tids.items(), key=lambda kv: kv[1]):
+        events.append(
+            {
+                "ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
+                "args": {"name": track},
+            }
+        )
+    for r in recs:
+        ts, dur = interval(r)
+        ev = {
+            "ph": "X",
+            "name": r.name,
+            "cat": r.cat,
+            "pid": pid,
+            "tid": tids[r.track],
+            "ts": round(ts * _S_TO_US, 3),
+            "dur": round(dur * _S_TO_US, 3),
+        }
+        args = dict(r.args)
+        if clock == "wall" and r.sim_ts is not None:
+            args["sim_ts"] = round(r.sim_ts, 9)
+        if args:
+            ev["args"] = args
+        events.append(ev)
+    out = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "metadata": {"clock": clock, "trace_format": "repro.obs v1"},
+    }
+    if counters:
+        out["metadata"]["counters"] = dict(counters)
+    return out
+
+
+def write_chrome(
+    records: "list[SpanRecord]",
+    path: str,
+    clock: str = "wall",
+    counters: "dict | None" = None,
+) -> None:
+    """Write a Perfetto-loadable ``trace_event`` JSON file."""
+    obj = to_chrome(records, clock=clock, counters=counters)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(obj, fh, indent=1)
+        fh.write("\n")
+
+
+def parse_chrome(obj: "dict | str") -> "list[SpanRecord]":
+    """Read a Chrome trace object (or JSON text) back into records.
+
+    Only ``ph: "X"`` events are spans; thread names come from the ``M``
+    metadata events.  Wall-clock exports restore ``ts``/``dur``,
+    simulated exports restore ``sim_ts``/``sim_dur`` (the export's clock
+    is in ``metadata.clock``).
+    """
+    if isinstance(obj, str):
+        obj = json.loads(obj)
+    clock = obj.get("metadata", {}).get("clock", "wall")
+    names: "dict[tuple[int, int], str]" = {}
+    for ev in obj["traceEvents"]:
+        if ev.get("ph") == "M" and ev.get("name") == "thread_name":
+            names[(ev["pid"], ev["tid"])] = ev["args"]["name"]
+    out: "list[SpanRecord]" = []
+    for ev in obj["traceEvents"]:
+        if ev.get("ph") != "X":
+            continue
+        args = dict(ev.get("args", {}))
+        sim_ts = args.pop("sim_ts", None)
+        ts = ev["ts"] / _S_TO_US
+        dur = ev["dur"] / _S_TO_US
+        wall = clock == "wall"
+        out.append(
+            SpanRecord(
+                name=ev["name"],
+                cat=ev.get("cat", ""),
+                track=names.get((ev["pid"], ev["tid"]), f"tid{ev['tid']}"),
+                ts=ts if wall else None,
+                dur=dur if wall else None,
+                sim_ts=sim_ts if wall else ts,
+                sim_dur=None if wall else dur,
+                args=args,
+            )
+        )
+    return out
+
+
+# --------------------------------------------------------------------- #
+# JSONL
+# --------------------------------------------------------------------- #
+
+
+def to_jsonl(records: "list[SpanRecord]") -> "list[str]":
+    """One compact JSON object per record, keys in a fixed order."""
+    return [
+        json.dumps(asdict(r), sort_keys=True, separators=(",", ":"))
+        for r in records
+    ]
+
+
+def write_jsonl(records: "list[SpanRecord]", path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        for line in to_jsonl(records):
+            fh.write(line + "\n")
+
+
+def parse_jsonl(source: "str | list[str]") -> "list[SpanRecord]":
+    """Inverse of :func:`to_jsonl`; accepts text, lines, or a file path.
+
+    A single string containing no newline and not starting with ``{`` is
+    treated as a path.
+    """
+    if isinstance(source, str):
+        if "\n" not in source and not source.lstrip().startswith("{"):
+            with open(source, "r", encoding="utf-8") as fh:
+                lines = fh.read().splitlines()
+        else:
+            lines = source.splitlines()
+    else:
+        lines = list(source)
+    out: "list[SpanRecord]" = []
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        out.append(SpanRecord(**json.loads(line)))
+    return out

@@ -42,16 +42,35 @@ class PipelineTimeline:
 
     ``overlap=False`` degrades to strictly serial I/O-then-compute, the
     ablation baseline for the SCR experiments.
+
+    With a :class:`~repro.obs.trace.Tracer` attached, every step also
+    emits *simulated* spans on the ``sim:io`` / ``sim:compute`` lanes:
+    steps happen in plan order on the engine thread, so the simulated
+    trace is deterministic — identical at every prefetch depth.
     """
 
     clock: SimClock = field(default_factory=SimClock)
     overlap: bool = True
     totals: PipelineTotals = field(default_factory=PipelineTotals)
+    #: Optional :class:`~repro.obs.trace.Tracer`; ``None`` disables the
+    #: simulated span emission entirely.
+    tracer: "object | None" = None
 
     def step(self, io_time: float, compute_time: float) -> float:
         """One pipeline step; returns the step's wall (simulated) duration."""
         if io_time < 0 or compute_time < 0:
             raise ValueError("durations must be non-negative")
+        tr = self.tracer
+        if tr is not None and tr.enabled:
+            t0 = self.totals.elapsed
+            comp_t0 = t0 if self.overlap else t0 + io_time
+            if io_time > 0:
+                tr.sim_span("io", t0, io_time, track="sim:io", cat="sim")
+            if compute_time > 0:
+                tr.sim_span(
+                    "compute", comp_t0, compute_time,
+                    track="sim:compute", cat="sim",
+                )
         if self.overlap:
             dt = max(io_time, compute_time)
             self.totals.io_stall += max(0.0, io_time - compute_time)

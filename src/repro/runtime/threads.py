@@ -25,6 +25,8 @@ import threading
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
 
+from repro.obs.trace import NULL_TRACER
+
 T = TypeVar("T")
 R = TypeVar("R")
 
@@ -62,12 +64,12 @@ def resolve_workers(workers: "int | str") -> int:
 class WorkerPool:
     """Persistent, lazily-created thread pool.
 
-    ``dynamic_row_map`` used to build a fresh ``ThreadPoolExecutor`` per
-    batch — thread churn on every segment.  One :class:`WorkerPool` is
-    owned by the engine, shared by the fused execution layer, the rewind
-    decoder, and the prefetcher's decode jobs, and shut down with the
-    engine.  The underlying executor is only created on first use, so
-    serial runs never spawn a thread.
+    One :class:`WorkerPool` is owned by each engine and shared by the
+    fused execution layer, the rewind decoder, and the prefetcher's
+    decode jobs — worker threads live for the engine's lifetime instead
+    of being respawned per segment batch, and are joined by the engine's
+    ``close()``.  The underlying executor is only created on first use,
+    so serial runs never spawn a thread.
     """
 
     def __init__(self, workers: "int | None" = None):
@@ -149,10 +151,12 @@ class Prefetcher:
         jobs: "Sequence[Callable[[], T]]",
         depth: int = 1,
         name: str = PREFETCH_THREAD_NAME,
+        tracer: object = NULL_TRACER,
     ):
         if depth < 1:
             raise ValueError(f"prefetch depth must be >= 1, got {depth}")
         self._jobs = list(jobs)
+        self._tracer = tracer
         self._slots = threading.Semaphore(depth)
         self._results: "queue.Queue[tuple[object, BaseException | None]]" = (
             queue.Queue()
@@ -165,14 +169,20 @@ class Prefetcher:
         self._thread.start()
 
     def _produce(self) -> None:
-        for job in self._jobs:
+        tracer = self._tracer
+        for i, job in enumerate(self._jobs):
             while not self._slots.acquire(timeout=self._STOP_POLL):
                 if self._stop.is_set():
                     return
             if self._stop.is_set():
                 return
             try:
-                out = job()
+                # The span runs on the prefetch thread, so the trace's
+                # prefetch track shows exactly when each batch's
+                # fetch+decode ran relative to engine-thread compute.
+                with tracer.span("prefetch.job", cat="pipeline", batch=i):
+                    out = job()
+                tracer.registry.counter("prefetch.jobs").add(1)
             except BaseException as exc:  # delivered to the consumer
                 self._results.put((None, exc))
                 return

@@ -35,6 +35,7 @@ from concurrent.futures import Executor, Future
 from dataclasses import dataclass, field
 
 from repro.errors import StorageError
+from repro.obs.trace import NULL_TRACER
 from repro.storage.file import TileStore
 from repro.storage.raid import Raid0Array
 from repro.util.timer import SimClock
@@ -114,6 +115,10 @@ class AIOContext:
     #: Sleep each batch's simulated service time on the servicing thread,
     #: making wall-clock I/O behave like the modeled device.
     realize_io: bool = False
+    #: Observability hook (``repro.obs``): :meth:`service` runs under a
+    #: ``fetch`` span on whichever thread services the batch, and the
+    #: ``aio.*`` counters mirror :class:`AIOStats`.
+    tracer: object = NULL_TRACER
     stats: AIOStats = field(default_factory=AIOStats)
     _pending: "list[IOEvent]" = field(default_factory=list)
     _pending_time: float = 0.0
@@ -139,21 +144,30 @@ class AIOContext:
         if not requests:
             return [], 0.0
         extents = [(r.offset, r.size) for r in requests]
-        with self._lock:
-            # Reads first: a bad extent raises before any state mutates.
-            events = [
-                IOEvent(tag=r.tag, data=self.store.read(r.offset, r.size))
-                for r in requests
-            ]
-            if self.mode is IOMode.AIO:
-                t = self.array.read_batch_time(extents)
-            else:
-                t = self.array.read_sync_time(extents)
-            self.stats.submissions += 1
-            self.stats.requests += len(requests)
-            self.stats.bytes_read += sum(r.size for r in requests)
-        if self.realize_io and t > 0.0:
-            time.sleep(t)
+        size = sum(r.size for r in requests)
+        with self.tracer.span(
+            "fetch", cat="io", requests=len(requests), bytes=size
+        ):
+            with self._lock:
+                # Reads first: a bad extent raises before any state mutates.
+                events = [
+                    IOEvent(tag=r.tag, data=self.store.read(r.offset, r.size))
+                    for r in requests
+                ]
+                if self.mode is IOMode.AIO:
+                    t = self.array.read_batch_time(extents)
+                else:
+                    t = self.array.read_sync_time(extents)
+                self.stats.submissions += 1
+                self.stats.requests += len(requests)
+                self.stats.bytes_read += size
+            if self.tracer.enabled:
+                reg = self.tracer.registry
+                reg.counter("aio.submissions").add(1)
+                reg.counter("aio.requests").add(len(requests))
+                reg.counter("aio.bytes_read").add(size)
+            if self.realize_io and t > 0.0:
+                time.sleep(t)
         return events, t
 
     def submit(self, requests: "list[IORequest]") -> int:
@@ -203,6 +217,8 @@ class AIOContext:
         self.clock.advance(service_time)
         with self._lock:
             self.stats.io_time += service_time
+        if self.tracer.enabled:
+            self.tracer.registry.counter("aio.io_time_sim").add(service_time)
 
     def complete(self, handle: AIOHandle) -> "tuple[list[IOEvent], float]":
         """Reap one async batch: block on the handle, then charge its time."""

@@ -59,6 +59,19 @@ class SimulatedSSD:
 
     profile: DeviceProfile = field(default_factory=DeviceProfile)
     stats: DeviceStats = field(default_factory=DeviceStats)
+    #: Optional :class:`~repro.obs.counters.MetricsRegistry`; when set,
+    #: the ``device.*`` counters aggregate this device's traffic into the
+    #: run's observability registry (all devices of an array share one).
+    counters: "object | None" = field(default=None, repr=False, compare=False)
+
+    def _count(self, reads: bool, total: int, n: int, t: float) -> None:
+        reg = self.counters
+        if reg is None:
+            return
+        kind = "read" if reads else "written"
+        reg.counter(f"device.bytes_{kind}").add(total)
+        reg.counter(f"device.{'read' if reads else 'write'}_requests").add(n)
+        reg.counter("device.busy_time_sim").add(t)
 
     def read_batch_time(self, sizes: "list[int]") -> float:
         """Service time for a batch of reads of the given byte sizes."""
@@ -75,6 +88,7 @@ class SimulatedSSD:
         self.stats.bytes_read += total
         self.stats.read_requests += n
         self.stats.busy_time += t
+        self._count(True, total, n, t)
         return t
 
     def read_sync_time(self, sizes: "list[int]") -> float:
@@ -92,6 +106,7 @@ class SimulatedSSD:
         self.stats.bytes_read += total
         self.stats.read_requests += len(sizes)
         self.stats.busy_time += t
+        self._count(True, total, len(sizes), t)
         return t
 
     def write_batch_time(self, sizes: "list[int]") -> float:
@@ -106,6 +121,7 @@ class SimulatedSSD:
         self.stats.bytes_written += total
         self.stats.write_requests += n
         self.stats.busy_time += t
+        self._count(False, total, n, t)
         return t
 
     def reset_stats(self) -> None:

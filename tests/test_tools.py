@@ -9,12 +9,16 @@ import pytest
 from repro.cli import main
 
 
-def _load_gen_api_docs():
-    path = os.path.join(os.path.dirname(__file__), "..", "tools", "gen_api_docs.py")
-    spec = importlib.util.spec_from_file_location("gen_api_docs", path)
+def _load_tool(name):
+    path = os.path.join(os.path.dirname(__file__), "..", "tools", f"{name}.py")
+    spec = importlib.util.spec_from_file_location(name, path)
     mod = importlib.util.module_from_spec(spec)
     spec.loader.exec_module(mod)
     return mod
+
+
+def _load_gen_api_docs():
+    return _load_tool("gen_api_docs")
 
 
 class TestGenApiDocs:
@@ -44,6 +48,82 @@ class TestGenApiDocs:
     def test_first_paragraph_handles_missing(self, tool):
         assert "undocumented" in tool._first_paragraph(None)
         assert tool._first_paragraph("One.\n\nTwo.") == "One."
+
+    def test_covers_obs_and_runtime(self, tool):
+        mods = tool.iter_modules("repro")
+        assert "repro.obs.trace" in mods
+        assert "repro.runtime.pipeline" in mods
+        text = "\n".join(tool.document_module("repro.obs.trace"))
+        assert "class `Tracer`" in text
+        assert "sim_span" in text
+
+    def test_render_deterministic(self, tool):
+        assert tool.render() == tool.render()
+
+    def test_check_mode(self, tool, tmp_path, capsys):
+        out = tmp_path / "API.md"
+        assert tool.main(str(out)) == 0
+        assert tool.main(str(out), check=True) == 0
+        out.write_text("stale")
+        assert tool.main(str(out), check=True) == 1
+        assert "stale" in capsys.readouterr().out
+
+    def test_check_missing_file_is_stale(self, tool, tmp_path):
+        assert tool.main(str(tmp_path / "nope.md"), check=True) == 1
+
+    def test_committed_api_md_is_fresh(self, tool):
+        """The repo's docs/API.md matches the current docstrings."""
+        path = os.path.join(
+            os.path.dirname(__file__), "..", "docs", "API.md"
+        )
+        assert tool.main(path, check=True) == 0
+
+
+class TestCheckLinks:
+    @pytest.fixture(scope="class")
+    def tool(self):
+        return _load_tool("check_links")
+
+    def test_extracts_links_outside_fences(self, tool):
+        text = (
+            "[a](x.md)\n"
+            "```\n[ignored](y.md)\n```\n"
+            "see `[also ignored](z.md)` and [b](docs/c.md#anchor)\n"
+        )
+        targets = [t for _, t in tool.extract_links(text)]
+        assert targets == ["x.md", "docs/c.md#anchor"]
+
+    def test_skips_external_and_anchors(self, tool, tmp_path):
+        md = tmp_path / "a.md"
+        md.write_text(
+            "[web](https://example.com) [mail](mailto:x@y.z) [top](#here)\n"
+        )
+        assert tool.check_file(str(md), str(tmp_path)) == []
+
+    def test_flags_broken_relative_link(self, tool, tmp_path):
+        md = tmp_path / "a.md"
+        md.write_text("[gone](missing.md)\n")
+        errors = tool.check_file(str(md), str(tmp_path))
+        assert len(errors) == 1
+        assert "missing.md" in errors[0]
+
+    def test_resolves_relative_to_file(self, tool, tmp_path):
+        sub = tmp_path / "docs"
+        sub.mkdir()
+        (sub / "other.md").write_text("x")
+        md = sub / "a.md"
+        md.write_text("[ok](other.md) [up](../docs/other.md#sec)\n")
+        assert tool.check_file(str(md), str(tmp_path)) == []
+
+    def test_main_counts_broken(self, tool, tmp_path, capsys):
+        (tmp_path / "a.md").write_text("[gone](nope.md)\n")
+        rc = tool.main([str(tmp_path)])
+        assert rc == 1
+        assert "1 broken" in capsys.readouterr().out
+
+    def test_repo_docs_are_clean(self, tool):
+        """Every intra-repo markdown link in this repo resolves."""
+        assert tool.main([]) == 0
 
 
 class TestCliFsck:

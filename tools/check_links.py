@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Check that every intra-repo markdown link resolves.
+
+Walks the given markdown files (default: README.md, the repo-root *.md,
+and everything under docs/), extracts ``[text](target)`` links outside
+fenced code blocks, and verifies that each relative target exists on
+disk.  External links (``http(s)://``, ``mailto:``) and pure in-page
+anchors (``#section``) are skipped; a ``path#anchor`` target is checked
+for the path only.
+
+Run:  python tools/check_links.py [files-or-dirs...]
+Exit status is the number of broken links (0 = all good) — the second
+half of the CI docs-job gate alongside ``gen_api_docs.py --check``.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+
+#: Inline links; images share the syntax with a leading ``!``.
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_FENCE_RE = re.compile(r"^\s*(```|~~~)")
+
+_SKIP_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def extract_links(text: str) -> "list[tuple[int, str]]":
+    """``(line_number, target)`` for every link outside code fences."""
+    links: "list[tuple[int, str]]" = []
+    in_fence = False
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if _FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        # Inline code spans can hold example links; strip them.
+        stripped = re.sub(r"`[^`]*`", "", line)
+        for m in _LINK_RE.finditer(stripped):
+            links.append((lineno, m.group(1)))
+    return links
+
+
+def check_file(path: str, repo_root: str) -> "list[str]":
+    """Broken-link descriptions for one markdown file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        text = fh.read()
+    errors: "list[str]" = []
+    base = os.path.dirname(os.path.abspath(path))
+    for lineno, target in extract_links(text):
+        if target.startswith(_SKIP_PREFIXES) or target.startswith("#"):
+            continue
+        rel = target.split("#", 1)[0]
+        if not rel:
+            continue
+        if rel.startswith("/"):
+            resolved = os.path.join(repo_root, rel.lstrip("/"))
+        else:
+            resolved = os.path.join(base, rel)
+        if not os.path.exists(resolved):
+            errors.append(
+                f"{os.path.relpath(path, repo_root)}:{lineno}: "
+                f"broken link -> {target}"
+            )
+    return errors
+
+
+def collect_markdown(args: "list[str]", repo_root: str) -> "list[str]":
+    if args:
+        sources = args
+    else:
+        sources = [
+            os.path.join(repo_root, name)
+            for name in sorted(os.listdir(repo_root))
+            if name.endswith(".md")
+        ]
+        sources.append(os.path.join(repo_root, "docs"))
+    files: "list[str]" = []
+    for src in sources:
+        if os.path.isdir(src):
+            for dirpath, _dirs, names in os.walk(src):
+                files.extend(
+                    os.path.join(dirpath, n)
+                    for n in sorted(names)
+                    if n.endswith(".md")
+                )
+        elif src.endswith(".md") and os.path.exists(src):
+            files.append(src)
+    return files
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    files = collect_markdown(argv, repo_root)
+    errors: "list[str]" = []
+    for path in files:
+        errors.extend(check_file(path, repo_root))
+    for err in errors:
+        print(err)
+    print(f"checked {len(files)} files: {len(errors)} broken links")
+    return len(errors)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
