@@ -149,6 +149,7 @@ def cmd_convert(args: argparse.Namespace) -> int:
 def cmd_run(args: argparse.Namespace) -> int:
     from repro.bench.harness import graphs, scaled_config
     from repro.engine.gstore import GStoreEngine
+    from repro.faults import FaultPlan
     from repro.memory.scr import CachePolicy
 
     tg = graphs().tiled(args.name, tier=args.tier)
@@ -159,7 +160,10 @@ def cmd_run(args: argparse.Namespace) -> int:
         n_ssds=args.ssds,
         cache_policy=CachePolicy.BASE if args.no_scr else CachePolicy.SCR,
     )
-    stats = GStoreEngine(tg, cfg).run(algo)
+    if args.faults is not None:
+        cfg.faults = FaultPlan.parse(args.faults)
+        print(f"fault injection: {cfg.faults.describe()}")
+    stats = GStoreEngine(tg, cfg).run(algo, checkpoint=args.checkpoint)
     print(stats.summary())
     return 0
 
@@ -207,12 +211,22 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 
 def cmd_fsck(args: argparse.Namespace) -> int:
+    """Exit codes: 0 = clean, 1 = corrupt, 2 = unable to verify (the
+    checksum pass was requested but the graph predates checksums)."""
     from repro.format.tiles import TiledGraph
     from repro.format.validate import check_tiled_graph
 
     tg = TiledGraph.load(args.directory)
-    rep = check_tiled_graph(tg, deep=not args.shallow)
+    rep = check_tiled_graph(
+        tg, deep=not args.shallow, checksums=args.checksums
+    )
     print(rep)
+    if rep.checksums_unavailable:
+        print(
+            "checksums unavailable: graph saved before format version 2; "
+            "re-save it to add them"
+        )
+        return 2
     return 0 if rep.ok else 1
 
 
@@ -271,6 +285,14 @@ def build_parser() -> argparse.ArgumentParser:
     pr.add_argument("--k", type=int, default=2, help="k for kcore")
     pr.add_argument("--memory-fraction", type=float, default=0.25)
     pr.add_argument("--ssds", type=int, default=1)
+    pr.add_argument("--faults", default=None, metavar="SEED_OR_SPEC",
+                    help="inject storage faults: an integer seed, or a "
+                         "comma-separated event spec such as "
+                         "'transient@3,spike@5:0.01,slow:0:4' "
+                         "(see docs/RELIABILITY.md)")
+    pr.add_argument("--checkpoint", default=None, metavar="DIR",
+                    help="checkpoint algorithm state here every iteration; "
+                         "resumes automatically when DIR already holds one")
     pr.add_argument("--no-scr", action="store_true",
                     help="use the two-segment base policy instead of SCR")
     pr.set_defaults(fn=cmd_run)
@@ -301,6 +323,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     pf = sub.add_parser("fsck", help="audit an on-disk tile graph")
     pf.add_argument("directory")
+    pf.add_argument("--checksums", action="store_true",
+                    help="deep-verify every tile extent against its stored "
+                         "CRC32C (exit 2 when the graph predates checksums)")
     pf.add_argument("--shallow", action="store_true",
                     help="metadata checks only (skip payload walk)")
     pf.set_defaults(fn=cmd_fsck)

@@ -1,0 +1,179 @@
+"""Iteration-granular checkpoint/resume for engine runs (docs/RELIABILITY.md).
+
+A checkpoint captures an algorithm's state at an *iteration boundary* —
+immediately after ``end_iteration(k)`` decided to continue — which is the
+one point where every algorithm's transient per-iteration scratch (frontier
+buffers, accumulators being built) is either empty or fully folded into its
+persistent arrays.  Resuming constructs the engine and algorithm normally,
+replays ``setup()``, restores the saved arrays and scalars, and continues
+from iteration ``k + 1``; because tile kernels are deterministic, the final
+result arrays are bit-identical to an uninterrupted run.  (I/O statistics
+are *not* part of the contract: a resumed run starts with a cold cache
+pool, so its byte counters legitimately differ.)
+
+Layout: a checkpoint is a directory holding ``state.npz`` (every ndarray
+attribute of the algorithm) and ``meta.json`` (scalar attributes plus the
+identity header: algorithm name, graph name, iteration).  Writes are
+atomic — each file is written to a temporary name and ``os.replace``\\ d —
+and ``meta.json`` is replaced last, so a crash mid-checkpoint leaves the
+previous complete checkpoint behind, never a torn one.  The iteration
+number is stored in both files and cross-checked on load.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+
+from repro.errors import CheckpointError
+
+_STATE_FILE = "state.npz"
+_META_FILE = "meta.json"
+#: Scalar types meta.json can round-trip faithfully (json keeps Infinity).
+_SCALARS = (bool, int, float, str)
+
+
+def capture_state(algorithm) -> "tuple[dict, dict]":
+    """Split an algorithm's instance attributes into (arrays, scalars).
+
+    Arrays go to ``state.npz``; json-safe scalars (including ``None`` and
+    empty lists, which are what per-iteration scratch buffers look like at
+    a boundary) go to ``meta.json``.  The graph reference and any other
+    non-serialisable attribute (dicts, rich objects) are skipped — they
+    are reconstructed by ``setup()`` on resume.
+    """
+    arrays: "dict[str, np.ndarray]" = {}
+    scalars: "dict[str, object]" = {}
+    for key, value in vars(algorithm).items():
+        if key == "graph":
+            continue
+        if isinstance(value, np.ndarray):
+            arrays[key] = value
+        elif isinstance(value, np.generic):
+            scalars[key] = value.item()
+        elif value is None or isinstance(value, _SCALARS):
+            scalars[key] = value
+        elif isinstance(value, list) and not value:
+            scalars[key] = []
+    return arrays, scalars
+
+
+class CheckpointManager:
+    """Atomic save/restore of algorithm state at iteration boundaries."""
+
+    def __init__(self, directory: "str | os.PathLike"):
+        self.directory = os.fspath(directory)
+
+    # ------------------------------------------------------------------ #
+    # Save
+    # ------------------------------------------------------------------ #
+
+    def save(
+        self,
+        algorithm,
+        graph_name: str,
+        iteration: int,
+        engine_state: "dict | None" = None,
+    ) -> None:
+        """Persist the state reached at the end of ``iteration``.
+
+        ``engine_state`` carries json-safe engine-side state alongside the
+        algorithm's — the cache pool's resident tile positions, in
+        particular, so a resumed run replays the same rewind/slide batch
+        structure (and hence the same floating-point accumulation order)
+        as the uninterrupted one.
+        """
+        os.makedirs(self.directory, exist_ok=True)
+        arrays, scalars = capture_state(algorithm)
+        state_path = os.path.join(self.directory, _STATE_FILE)
+        meta_path = os.path.join(self.directory, _META_FILE)
+        tmp_state = state_path + ".tmp"
+        tmp_meta = meta_path + ".tmp"
+        np.savez(
+            tmp_state,
+            __iteration__=np.array([iteration], dtype=np.int64),
+            **arrays,
+        )
+        # np.savez appends .npz to names without it; normalise.
+        if not os.path.exists(tmp_state) and os.path.exists(tmp_state + ".npz"):
+            tmp_state += ".npz"
+        meta = {
+            "algorithm": algorithm.name,
+            "graph": graph_name,
+            "iteration": iteration,
+            "scalars": scalars,
+            "engine": engine_state or {},
+        }
+        with open(tmp_meta, "w", encoding="utf-8") as fh:
+            json.dump(meta, fh, indent=2)
+        os.replace(tmp_state, state_path)
+        os.replace(tmp_meta, meta_path)  # the commit point
+
+    # ------------------------------------------------------------------ #
+    # Load / restore
+    # ------------------------------------------------------------------ #
+
+    def exists(self) -> bool:
+        return os.path.exists(os.path.join(self.directory, _META_FILE))
+
+    def load(self) -> "tuple[int, dict, dict, dict] | None":
+        """Read the checkpoint; returns ``(iteration, arrays, scalars,
+        engine_state)`` or ``None`` when the directory holds no complete
+        checkpoint."""
+        meta_path = os.path.join(self.directory, _META_FILE)
+        state_path = os.path.join(self.directory, _STATE_FILE)
+        if not os.path.exists(meta_path):
+            return None
+        try:
+            with open(meta_path, "r", encoding="utf-8") as fh:
+                meta = json.load(fh)
+        except (OSError, ValueError) as exc:
+            raise CheckpointError(
+                f"unreadable checkpoint metadata: {exc}",
+                context={"path": meta_path},
+            ) from exc
+        try:
+            with np.load(state_path) as z:
+                arrays = {k: z[k].copy() for k in z.files if k != "__iteration__"}
+                state_iter = int(z["__iteration__"][0])
+        except (OSError, ValueError, KeyError) as exc:
+            raise CheckpointError(
+                f"unreadable checkpoint state: {exc}",
+                context={"path": state_path},
+            ) from exc
+        if state_iter != meta["iteration"]:
+            raise CheckpointError(
+                "checkpoint state/metadata iteration mismatch (torn write?)",
+                context={
+                    "path": self.directory,
+                    "meta_iteration": meta["iteration"],
+                    "state_iteration": state_iter,
+                },
+            )
+        self._meta = meta
+        return meta["iteration"], arrays, meta["scalars"], meta.get("engine", {})
+
+    def restore(
+        self, algorithm, graph_name: str, arrays: dict, scalars: dict
+    ) -> None:
+        """Apply loaded state onto a freshly ``setup()`` algorithm."""
+        meta = self._meta
+        if meta["algorithm"] != algorithm.name:
+            raise CheckpointError(
+                "checkpoint belongs to a different algorithm",
+                context={
+                    "checkpoint": meta["algorithm"],
+                    "running": algorithm.name,
+                },
+            )
+        if meta["graph"] != graph_name:
+            raise CheckpointError(
+                "checkpoint belongs to a different graph",
+                context={"checkpoint": meta["graph"], "running": graph_name},
+            )
+        for key, value in arrays.items():
+            setattr(algorithm, key, value)
+        for key, value in scalars.items():
+            setattr(algorithm, key, value)

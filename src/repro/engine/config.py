@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import StorageError
+from repro.faults.plan import FaultPlan, RetryPolicy
 from repro.memory.scr import CachePolicy
 from repro.runtime.cost import CostModel
 from repro.storage.aio import IOMode
@@ -78,6 +79,16 @@ class EngineConfig:
     trace: bool = False
     #: Safety valve on iteration count (algorithms have their own limits).
     max_iterations: int = 100_000
+    #: Deterministic fault-injection plan (docs/RELIABILITY.md).  ``None``
+    #: (the default) leaves the storage substrate untouched — the clean
+    #: path is bit-identical to an engine without the fault plane.
+    faults: "FaultPlan | None" = None
+    #: Recovery policy for retryable storage errors, injected or real.
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    #: Verify each fetched tile extent against its CRC32C at decode time.
+    #: ``None`` auto-enables verification exactly when ``faults`` is set,
+    #: so clean runs never pay the (pure-Python) checksum cost.
+    verify_checksums: "bool | None" = None
     #: When set, the graph lives on tiered storage: this fraction of the
     #: payload (the disk-order prefix, where dense groups are packed) sits
     #: on the SSD array and the rest on an HDD array (§IX future work).

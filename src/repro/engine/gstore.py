@@ -39,10 +39,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.algorithms.base import TileAlgorithm
+from repro.engine.checkpoint import CheckpointManager
 from repro.engine.config import EngineConfig
 from repro.engine.selective import merge_requests, select_positions
 from repro.engine.stats import IterationStats, RunStats
-from repro.errors import AlgorithmError
+from repro.errors import AlgorithmError, ChecksumError, FormatError, StorageError
+from repro.faults.injector import FaultInjector
 from repro.format.tiles import TiledGraph
 from repro.memory.scr import SCRScheduler, SlidePlan
 from repro.memory.segments import MemoryBudget, TileBuffer
@@ -129,11 +131,32 @@ class GStoreEngine:
         #: :mod:`repro.obs.export` or ``python -m repro trace``.
         self.tracer = Tracer(clock=self.clock) if self.config.trace else NULL_TRACER
         self.store = TileStore.from_tiled_graph(graph)
+        #: Fault-injection plane (docs/RELIABILITY.md).  ``None`` on the
+        #: clean path — the substrate then behaves bit-identically to an
+        #: engine without the fault plane.
+        self.injector: "FaultInjector | None" = None
+        if self.config.faults is not None:
+            self.injector = FaultInjector(
+                self.config.faults,
+                self.tracer.registry if self.tracer.enabled else None,
+            )
+            self.injector.configure_array(self.array)
+        #: Verify fetched tile extents against their CRC32C at decode time;
+        #: defaults to on exactly when faults are being injected.
+        self._verify = (
+            self.config.verify_checksums
+            if self.config.verify_checksums is not None
+            else self.config.faults is not None
+        )
         self.aio = AIOContext(
             store=self.store, array=self.array, clock=self.clock,
             mode=self.config.io_mode, realize_io=self.config.realize_io,
-            tracer=self.tracer,
+            tracer=self.tracer, injector=self.injector,
+            retry=self.config.retry,
         )
+        # Set when a prefetch job died and the run degraded to serial
+        # engine-thread I/O for its remainder.
+        self._degraded = False
         if self.tracer.enabled:
             self._wire_device_counters()
         #: Resolved row-parallel worker count ("auto" clamps to the cores
@@ -195,23 +218,56 @@ class GStoreEngine:
 
     # ------------------------------------------------------------------ #
 
-    def run(self, algorithm: TileAlgorithm) -> RunStats:
-        """Execute the algorithm to convergence; returns full statistics."""
+    def run(
+        self,
+        algorithm: TileAlgorithm,
+        checkpoint: "str | None" = None,
+    ) -> RunStats:
+        """Execute the algorithm to convergence; returns full statistics.
+
+        ``checkpoint`` names a directory for iteration-granular
+        checkpoint/resume (docs/RELIABILITY.md): the algorithm's state is
+        saved atomically at the end of every iteration, and when the
+        directory already holds a checkpoint the run resumes after its
+        iteration instead of starting over — producing result arrays
+        bit-identical to an uninterrupted run (I/O statistics differ: a
+        resumed run starts with a cold cache).
+        """
         cfg = self.config
         g = self.graph
         self._rewind_key = None
         self._rewind_merged = None
+        self._degraded = False
         self.wall_overlap = WallOverlap()
+        if self._verify:
+            g.ensure_checksums()
+        ckpt = CheckpointManager(checkpoint) if checkpoint else None
         with WallTimer() as wall, self.tracer.span(
             "run", cat="engine", algorithm=algorithm.name, graph=g.info.name
         ):
             algorithm.setup(g)
+            start_iteration = 0
+            resume_cached: "list[int] | None" = None
+            if ckpt is not None:
+                loaded = ckpt.load()
+                if loaded is not None:
+                    saved_iter, arrays, scalars, engine_state = loaded
+                    ckpt.restore(algorithm, g.info.name, arrays, scalars)
+                    start_iteration = saved_iter + 1
+                    resume_cached = engine_state.get("cached_positions")
             budget = MemoryBudget(
                 total_bytes=cfg.memory_bytes, segment_bytes=cfg.segment_bytes
             )
             scr = SCRScheduler(
                 budget=budget, policy=cfg.cache_policy, tracer=self.tracer
             )
+            if resume_cached:
+                # Rebuild the cache pool the interrupted run had at this
+                # boundary: the buffers are zero-copy slices of the backing
+                # store, so membership (not bytes) is all the checkpoint
+                # records.  Same pool => same rewind/slide batch structure
+                # => bit-identical float accumulation order on resume.
+                self._seed_pool(scr, resume_cached)
             stats = RunStats(
                 engine=self.name,
                 algorithm=algorithm.name,
@@ -221,7 +277,7 @@ class GStoreEngine:
                 clock=self.clock, overlap=cfg.overlap, tracer=self.tracer
             )
 
-            iteration = 0
+            iteration = start_iteration
             while iteration < cfg.max_iterations:
                 it_stats = self._run_iteration(algorithm, scr, timeline, iteration)
                 stats.add_iteration(it_stats)
@@ -234,6 +290,16 @@ class GStoreEngine:
                     g.info.symmetric,
                     algorithm.cols_active(),
                 )
+                if ckpt is not None:
+                    # Saved after the end-of-iteration cache analysis, so
+                    # the recorded pool is exactly the next iteration's
+                    # starting state.
+                    ckpt.save(
+                        algorithm, g.info.name, iteration,
+                        engine_state={
+                            "cached_positions": scr.pool.positions()
+                        },
+                    )
                 iteration += 1
             else:
                 raise AlgorithmError(
@@ -253,7 +319,14 @@ class GStoreEngine:
             "workers_resolved": self.workers,
             "prefetch_depth": cfg.prefetch_depth,
             "realize_io": cfg.realize_io,
+            "degraded": self._degraded,
         }
+        if self.injector is not None:
+            stats.extra["faults"] = {
+                "plan": self.injector.plan.describe(),
+                "injected": len(self.injector.log),
+                "counters": self.injector.counters(),
+            }
         if self.tracer.enabled:
             stats.extra["counters"] = self.tracer.registry.as_dict()
         return stats
@@ -289,7 +362,7 @@ class GStoreEngine:
             fused = cfg.fused and algorithm.supports_fused
 
             prefetcher: "Prefetcher | None" = None
-            if cfg.prefetch_depth > 0 and plan.n_batches > 0:
+            if cfg.prefetch_depth > 0 and plan.n_batches > 0 and not self._degraded:
                 jobs = [
                     (lambda b=batch: self._prepare(list(b), fused))
                     for batch in plan.batches
@@ -367,7 +440,31 @@ class GStoreEngine:
                     self.wall_overlap.compute_busy += tc1 - tc0
                     if prefetcher is not None:
                         with tracer.span("stall", cat="pipeline", batch=k):
-                            prep: _Prepared = prefetcher.get()
+                            try:
+                                prep: _Prepared = prefetcher.get()
+                            except (StorageError, FormatError) as exc:
+                                # Graceful degradation: the prefetch
+                                # pipeline died on a persistent storage or
+                                # corruption fault.  Drain it (no thread
+                                # leak), then re-attempt this batch — and
+                                # run the rest of the run — serially on
+                                # the engine thread; if the fault truly
+                                # persists (e.g. a dead RAID member) the
+                                # serial attempt propagates it typed.
+                                prefetcher.close()
+                                prefetcher = None
+                                self._degraded = True
+                                if self.injector is not None:
+                                    self.injector.registry.counter(
+                                        "fault.prefetch_fallbacks"
+                                    ).add(1)
+                                tracer.instant(
+                                    "prefetch_fallback", cat="pipeline",
+                                    batch=k, error=str(exc),
+                                )
+                                prep = self._prepare(
+                                    list(plan.batches[k]), fused
+                                )
                         stall = _time.perf_counter() - tc1
                     else:
                         prep = self._prepare(list(plan.batches[k]), fused)
@@ -440,6 +537,7 @@ class GStoreEngine:
             views: list = []
             edges = 0
             tb = g.start_edge.tuple_bytes
+            verify = self._verify
             with tracer.span("decode", cat="decode", tiles=len(batch_positions)):
                 if fused:
                     # Batch-level decode: one widened global-ID buffer for
@@ -451,6 +549,8 @@ class GStoreEngine:
                     )
                     views = g.split_run_views(views, _RUN_SPLIT)
                     for pos, i, j, raw in tiles:
+                        if verify:
+                            self._verify_tile(pos, raw)
                         buffers.append(TileBuffer(pos=pos, i=i, j=j, data=raw))
                 else:
                     for ev in events:
@@ -458,6 +558,8 @@ class GStoreEngine:
                         # frombuffer + global-ID widening covers the whole
                         # run.
                         for tv, raw in g.decode_run(ev.tag, ev.data):
+                            if verify:
+                                self._verify_tile(tv.pos, raw)
                             buffers.append(
                                 TileBuffer(
                                     pos=tv.pos, i=tv.i, j=tv.j, data=raw,
@@ -473,6 +575,40 @@ class GStoreEngine:
             bytes_read=sum(r.size for r in requests),
             wall=_time.perf_counter() - t0,
         )
+
+    def _seed_pool(self, scr: SCRScheduler, positions: "list[int]") -> None:
+        """Repopulate the cache pool from a checkpoint's membership list.
+
+        Reads come straight off the backing store with no simulated I/O —
+        the interrupted run already paid for these bytes, and re-charging
+        them would skew the resumed timeline for data that is by definition
+        cache-resident.
+        """
+        g = self.graph
+        for pos in positions:
+            off, size = g.start_edge.byte_extent(pos)
+            scr.pool.add(
+                TileBuffer(
+                    pos=pos,
+                    i=int(g.tile_rows[pos]),
+                    j=int(g.tile_cols[pos]),
+                    data=self.store.read(off, size),
+                )
+            )
+
+    def _verify_tile(self, pos: int, raw: "bytes | memoryview") -> None:
+        """Checksum one fetched tile extent (on whichever thread decoded
+        it); counts the failure before the typed error propagates.  The
+        rewind path skips this — the cache pool only ever holds bytes that
+        were verified on the way in."""
+        try:
+            self.graph.verify_tile_bytes(pos, raw)
+        except ChecksumError:
+            if self.injector is not None:
+                self.injector.registry.counter(
+                    "fault.checksum_failures"
+                ).add(1)
+            raise
 
     def _rewind_views(self, algorithm: TileAlgorithm, cached, rewound):
         """Views for the rewind batch.

@@ -119,4 +119,18 @@ class RunStats:
                 f"stalled {fmt_time(wall['io_stall'])} "
                 f"({wall['io_bound_fraction']:.0%} of wall time)"
             )
+        faults = self.extra.get("faults")
+        if faults:
+            c = faults.get("counters", {})
+            line = (
+                f"  faults: {faults.get('injected', 0)} injected, "
+                f"{c.get('retry.attempts', 0)} retries "
+                f"({c.get('retry.recovered', 0)} recovered)"
+            )
+            backoff = c.get("retry.backoff_time_sim", 0.0)
+            if backoff:
+                line += f", backoff {fmt_time(backoff)}"
+            if self.extra.get("execution", {}).get("degraded"):
+                line += ", degraded to serial I/O"
+            lines.append(line)
         return "\n".join(lines)

@@ -1,10 +1,38 @@
-"""Exception hierarchy for the G-Store reproduction."""
+"""Exception hierarchy for the G-Store reproduction.
+
+Every library error can carry a ``context`` dict — structured fields
+(device id, byte extent, tile position, attempt counts) that make a
+failure inside a chaos run attributable without a debugger.  The context
+is rendered into ``str(exc)`` and preserved on the exception object for
+programmatic inspection.
+
+``StorageError`` additionally carries ``retryable``: the storage layer's
+hint that the condition may be transient (an injected read error, a short
+read) and a bounded retry is worth attempting.  Errors raised without the
+flag — bad extents, truncated files, programming errors — fail
+immediately.
+"""
 
 from __future__ import annotations
 
 
+def _render(message: str, context: "dict | None") -> str:
+    if not context:
+        return message
+    fields = ", ".join(f"{k}={v!r}" for k, v in context.items())
+    return f"{message} [{fields}]"
+
+
 class ReproError(Exception):
-    """Base class for all library-specific errors."""
+    """Base class for all library-specific errors.
+
+    ``context`` holds structured failure attributes (rendered into the
+    message); subclasses pass through ``**extra`` keyword fields too.
+    """
+
+    def __init__(self, message: str = "", *, context: "dict | None" = None):
+        self.context: dict = dict(context) if context else {}
+        super().__init__(_render(message, self.context))
 
 
 class FormatError(ReproError):
@@ -12,7 +40,27 @@ class FormatError(ReproError):
 
 
 class StorageError(ReproError):
-    """Raised by the simulated storage substrate (device/RAID/AIO layer)."""
+    """Raised by the simulated storage substrate (device/RAID/AIO layer).
+
+    ``retryable=True`` marks conditions the AIO retry policy may recover
+    from (transient read errors, short reads, injected faults); the
+    default ``False`` fails the batch immediately.
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        *,
+        context: "dict | None" = None,
+        retryable: bool = False,
+    ):
+        super().__init__(message, context=context)
+        self.retryable = bool(retryable)
+
+
+class ChecksumError(FormatError):
+    """Raised when a tile's payload bytes fail checksum verification —
+    the typed, attributable form of silent bit-flip corruption."""
 
 
 class MemoryBudgetError(ReproError):
@@ -25,3 +73,8 @@ class AlgorithmError(ReproError):
 
 class DatasetError(ReproError):
     """Raised when a named dataset cannot be resolved or generated."""
+
+
+class CheckpointError(ReproError):
+    """Raised when a checkpoint cannot be written, read, or matched to
+    the run attempting to resume from it."""

@@ -33,6 +33,9 @@ class GraphInfo:
     symmetric: True when only the upper triangle is stored (§IV-A).
     tile_bits: bits of a local vertex ID (paper: 16).
     group_q: tiles per physical-group side (paper: 256).
+    format_version: on-disk layout revision.  Version 1 graphs (no
+        per-tile checksums) predate the reliability plane and still load;
+        version 2 adds the ``tile_checksums`` array to the aux file.
     """
 
     name: str
@@ -43,6 +46,7 @@ class GraphInfo:
     symmetric: bool
     tile_bits: int
     group_q: int
+    format_version: int = 1
 
     @property
     def p(self) -> int:

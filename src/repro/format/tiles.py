@@ -21,7 +21,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.errors import FormatError
+from repro.errors import ChecksumError, FormatError
+from repro.faults.crc import crc32c
 from repro.format.edgelist import EdgeList
 from repro.format.grouping import PhysicalGrouping
 from repro.format.metadata import GraphInfo
@@ -164,6 +165,12 @@ class TiledGraph:
     #: (like algorithmic metadata) so weighted kernels can slice them by
     #: tile position whether or not the payload itself is resident.
     edge_weights: "np.ndarray | None" = None
+    #: Per-tile CRC32C of the tile's payload extent (uint32, one per disk
+    #: position; empty tiles checksum to 0).  Computed lazily — at save
+    #: time, by ``fsck --checksums``, or on demand when a fault-injected
+    #: run enables decode verification — so clean runs pay nothing.
+    #: ``None`` for version-1 graphs saved before the reliability plane.
+    tile_checksums: "np.ndarray | None" = None
     _pos_grid: "np.ndarray | None" = field(default=None, repr=False)
     _payload_dt: "np.dtype | None" = field(default=None, repr=False)
 
@@ -639,6 +646,95 @@ class TiledGraph:
         )
 
     # ------------------------------------------------------------------ #
+    # Integrity (docs/RELIABILITY.md)
+    # ------------------------------------------------------------------ #
+
+    def _payload_bytes_view(self) -> memoryview:
+        """A byte view over the full payload, resident or on disk."""
+        if self.payload is not None:
+            return memoryview(self.payload).cast("B")
+        if self.payload_path is not None:
+            with open(self.payload_path, "rb") as fh:
+                return memoryview(fh.read())
+        raise FormatError("TiledGraph has neither resident payload nor a path")
+
+    def ensure_checksums(self) -> np.ndarray:
+        """Compute (once) and return the per-tile CRC32C array."""
+        if self.tile_checksums is None:
+            view = self._payload_bytes_view()
+            sums = np.zeros(self.n_tiles, dtype=np.uint32)
+            for pos in range(self.n_tiles):
+                off, size = self.start_edge.byte_extent(pos)
+                if size:
+                    sums[pos] = crc32c(view[off : off + size])
+            self.tile_checksums = sums
+        return self.tile_checksums
+
+    def verify_tile_bytes(
+        self, pos: int, raw: "bytes | memoryview"
+    ) -> None:
+        """Check a fetched tile extent against its stored checksum.
+
+        No-op when the graph carries no checksums (version-1 files).
+        Raises :class:`ChecksumError` carrying the tile's grid position
+        and byte extent when the payload does not match.
+        """
+        sums = self.tile_checksums
+        if sums is None:
+            return
+        actual = crc32c(raw)
+        expected = int(sums[pos])
+        if actual != expected:
+            off, size = self.start_edge.byte_extent(pos)
+            raise ChecksumError(
+                f"tile {pos} payload failed checksum verification",
+                context={
+                    "tile": pos,
+                    "i": int(self.tile_rows[pos]),
+                    "j": int(self.tile_cols[pos]),
+                    "offset": off,
+                    "size": size,
+                    "expected": f"{expected:#010x}",
+                    "actual": f"{actual:#010x}",
+                },
+            )
+
+    def verify_checksums(self) -> "list[dict]":
+        """Deep-verify every tile extent against the checksum array
+        (``repro fsck --checksums``).  Returns one context dict per
+        corrupt tile; an empty list means the payload is clean.  Raises
+        :class:`FormatError` when the graph carries no checksum array
+        (a version-1 file has nothing to verify against)."""
+        sums = self.tile_checksums
+        if sums is None:
+            raise FormatError(
+                "graph carries no tile checksums (format version 1); "
+                "re-save it to add them",
+                context={"format_version": self.info.format_version},
+            )
+        view = self._payload_bytes_view()
+        bad: "list[dict]" = []
+        for pos in range(self.n_tiles):
+            off, size = self.start_edge.byte_extent(pos)
+            if not size:
+                continue
+            actual = crc32c(view[off : off + size])
+            expected = int(sums[pos])
+            if actual != expected:
+                bad.append(
+                    {
+                        "tile": pos,
+                        "i": int(self.tile_rows[pos]),
+                        "j": int(self.tile_cols[pos]),
+                        "offset": off,
+                        "size": size,
+                        "expected": f"{expected:#010x}",
+                        "actual": f"{actual:#010x}",
+                    }
+                )
+        return bad
+
+    # ------------------------------------------------------------------ #
     # Size accounting
     # ------------------------------------------------------------------ #
 
@@ -664,11 +760,13 @@ class TiledGraph:
         with open(payload_path, "wb") as fh:
             fh.write(self.payload.tobytes())
         self.start_edge.save(os.path.join(directory, _STARTEDGE_FILE))
+        self.info.format_version = 2
         self.info.save(os.path.join(directory, _INFO_FILE))
         aux = dict(
             out_degrees=self.out_degrees,
             in_degrees=self.in_degrees,
             snb=np.array([int(self.snb)]),
+            tile_checksums=self.ensure_checksums(),
         )
         if self.edge_weights is not None:
             aux["edge_weights"] = self.edge_weights
@@ -690,6 +788,10 @@ class TiledGraph:
             in_deg = z["in_degrees"]
             snb = bool(int(z["snb"][0]))
             edge_weights = z["edge_weights"] if "edge_weights" in z else None
+            # Version-1 files predate per-tile checksums; load as None.
+            tile_checksums = (
+                z["tile_checksums"] if "tile_checksums" in z else None
+            )
         grouping = PhysicalGrouping(p=info.p, q=info.group_q, symmetric=info.symmetric)
         order_arr = np.array(grouping.disk_order(), dtype=np.int64).reshape(-1, 2)
         payload_path = os.path.join(directory, _PAYLOAD_FILE)
@@ -710,6 +812,7 @@ class TiledGraph:
             payload_path=payload_path,
             snb=snb,
             edge_weights=edge_weights,
+            tile_checksums=tile_checksums,
         )
 
     def __repr__(self) -> str:

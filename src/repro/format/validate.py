@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.errors import FormatError
 from repro.format.tiles import TiledGraph
 
 
@@ -24,6 +25,9 @@ class ValidationReport:
     errors: "list[str]" = field(default_factory=list)
     tiles_checked: int = 0
     edges_checked: int = 0
+    #: True when the checksum pass was requested but the graph carries no
+    #: checksum array to verify against (``fsck`` exit code 2).
+    checksums_unavailable: bool = False
 
     def fail(self, message: str) -> None:
         self.ok = False
@@ -39,12 +43,18 @@ class ValidationReport:
         return "\n".join(lines)
 
 
-def check_tiled_graph(tg: TiledGraph, deep: bool = True) -> ValidationReport:
+def check_tiled_graph(
+    tg: TiledGraph, deep: bool = True, checksums: bool = False
+) -> ValidationReport:
     """Audit a tiled graph's structural invariants.
 
     ``deep=True`` also walks every tile's payload (local-ID bounds and,
     for symmetric storage, the in-diagonal-tile ordering); metadata-only
-    checks are cheap enough for every load.
+    checks are cheap enough for every load.  ``checksums=True`` adds the
+    CRC32C deep-verify of every tile extent against the stored checksum
+    array (``repro fsck --checksums``); a graph saved before checksums
+    existed sets :attr:`ValidationReport.checksums_unavailable` instead
+    of failing.
     """
     rep = ValidationReport()
     info = tg.info
@@ -107,4 +117,15 @@ def check_tiled_graph(tg: TiledGraph, deep: bool = True) -> ValidationReport:
                     rep.fail(
                         f"diagonal tile ({tv.i},{tv.j}): lower-triangle edge"
                     )
+
+    if checksums:
+        try:
+            for bad in tg.verify_checksums():
+                rep.fail(
+                    f"tile {bad['tile']} ({bad['i']},{bad['j']}) checksum "
+                    f"mismatch: expected {bad['expected']}, got "
+                    f"{bad['actual']} (extent {bad['offset']}+{bad['size']})"
+                )
+        except FormatError:
+            rep.checksums_unavailable = True
     return rep

@@ -24,6 +24,17 @@ compares against (per-request latency, no overlap).  ``realize_io=True``
 additionally *sleeps* each batch's simulated service time on the servicing
 thread, so the wall clock behaves like the modeled device — the mode the
 pipeline-overlap benchmark uses to demonstrate real fetch/compute overlap.
+
+Reliability plane (docs/RELIABILITY.md): the context assigns every
+request a monotonically increasing *ordinal* (in batch-plan order; retries
+reuse the ordinal) against which an attached
+:class:`~repro.faults.injector.FaultInjector` schedules faults, and
+recovers retryable errors — injected or real — with the bounded
+exponential backoff of :class:`~repro.faults.plan.RetryPolicy`.  Backoff
+and latency-spike time are charged to the batch's service time, so chaos
+runs live on the same deterministic simulated timeline as clean runs.
+Batches stay all-or-nothing at every attempt: a failed attempt produces
+no events and moves no counter.
 """
 
 from __future__ import annotations
@@ -35,6 +46,7 @@ from concurrent.futures import Executor, Future
 from dataclasses import dataclass, field
 
 from repro.errors import StorageError
+from repro.faults.plan import RetryPolicy
 from repro.obs.trace import NULL_TRACER
 from repro.storage.file import TileStore
 from repro.storage.raid import Raid0Array
@@ -120,8 +132,15 @@ class AIOContext:
     #: ``aio.*`` counters mirror :class:`AIOStats`.
     tracer: object = NULL_TRACER
     stats: AIOStats = field(default_factory=AIOStats)
+    #: Optional :class:`~repro.faults.injector.FaultInjector`; when set,
+    #: every serviced request is run through its fault plan.
+    injector: "object | None" = None
+    #: Recovery policy for retryable :class:`StorageError`\ s (injected or
+    #: real); backoff is charged to the batch's simulated service time.
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
     _pending: "list[IOEvent]" = field(default_factory=list)
     _pending_time: float = 0.0
+    _next_ordinal: int = 0
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
@@ -138,8 +157,8 @@ class AIOContext:
         Thread-safe and clock-free, so any thread (a prefetch worker, an
         executor) may call it; the simulated time must later be committed
         on the engine thread via :meth:`commit` (or :meth:`complete`).
-        All-or-nothing: if any extent is invalid, no event is produced and
-        no counter moves.
+        All-or-nothing: if any extent is invalid or a fault exhausts the
+        retry budget, no event is produced and no counter moves.
         """
         if not requests:
             return [], 0.0
@@ -149,18 +168,7 @@ class AIOContext:
             "fetch", cat="io", requests=len(requests), bytes=size
         ):
             with self._lock:
-                # Reads first: a bad extent raises before any state mutates.
-                events = [
-                    IOEvent(tag=r.tag, data=self.store.read(r.offset, r.size))
-                    for r in requests
-                ]
-                if self.mode is IOMode.AIO:
-                    t = self.array.read_batch_time(extents)
-                else:
-                    t = self.array.read_sync_time(extents)
-                self.stats.submissions += 1
-                self.stats.requests += len(requests)
-                self.stats.bytes_read += size
+                events, t = self._service_locked(requests, extents, size)
             if self.tracer.enabled:
                 reg = self.tracer.registry
                 reg.counter("aio.submissions").add(1)
@@ -169,6 +177,94 @@ class AIOContext:
             if self.realize_io and t > 0.0:
                 time.sleep(t)
         return events, t
+
+    def _service_locked(
+        self, requests: "list[IORequest]", extents, size: int
+    ) -> "tuple[list[IOEvent], float]":
+        """Read + time one batch under the lock, retrying retryable
+        failures with bounded backoff.
+
+        Request ordinals are assigned here, once per batch, in plan order;
+        retries reuse them, so a transient fault keyed to an ordinal
+        clears after its ``count`` attempts and the injected sequence is
+        identical at every prefetch depth.
+        """
+        base = self._next_ordinal
+        self._next_ordinal += len(requests)
+        inj = self.injector
+        reg = inj.registry if inj is not None else None
+        attempt = 1
+        backoff = 0.0
+        while True:
+            try:
+                # Reads (and injection) first: a failure raises before any
+                # device counter or AIOStats field mutates.
+                events, spike = self._read_attempt(requests, base, attempt)
+                if self.mode is IOMode.AIO:
+                    t = self.array.read_batch_time(extents)
+                else:
+                    t = self.array.read_sync_time(extents)
+                break
+            except StorageError as exc:
+                if not exc.retryable:
+                    raise
+                if reg is not None:
+                    reg.counter("retry.attempts").add(1)
+                if attempt >= self.retry.max_attempts:
+                    if reg is not None:
+                        reg.counter("retry.exhausted").add(1)
+                    ctx = dict(exc.context)
+                    ctx["attempts"] = attempt
+                    ctx["batch_requests"] = len(requests)
+                    raise StorageError(
+                        f"batch failed after {attempt} attempts: {exc.args[0]}",
+                        context=ctx,
+                        retryable=False,
+                    ) from exc
+                pause = self.retry.backoff_for(attempt)
+                backoff += pause
+                if reg is not None:
+                    reg.counter("retry.backoff_time_sim").add(pause)
+                attempt += 1
+        if attempt > 1 and reg is not None:
+            reg.counter("retry.recovered").add(1)
+        t += spike + backoff
+        self.stats.submissions += 1
+        self.stats.requests += len(requests)
+        self.stats.bytes_read += size
+        return events, t
+
+    def _read_attempt(
+        self, requests: "list[IORequest]", base: int, attempt: int
+    ) -> "tuple[list[IOEvent], float]":
+        """One read pass over the batch: store reads, fault injection, and
+        centralised short-read detection.  Returns ``(events, extra_sim)``."""
+        inj = self.injector
+        events: "list[IOEvent]" = []
+        extra = 0.0
+        for k, r in enumerate(requests):
+            data = self.store.read(r.offset, r.size)
+            if inj is not None:
+                data, delay = inj.apply(
+                    base + k, attempt, r.offset, r.size, data
+                )
+                extra += delay
+            if len(data) != r.size:
+                raise StorageError(
+                    f"short read at offset {r.offset}: got {len(data)} of "
+                    f"{r.size} bytes",
+                    context={
+                        "ordinal": base + k,
+                        "offset": r.offset,
+                        "size": r.size,
+                        "got": len(data),
+                        "tag": r.tag,
+                        "attempt": attempt,
+                    },
+                    retryable=True,
+                )
+            events.append(IOEvent(tag=r.tag, data=data))
+        return events, extra
 
     def submit(self, requests: "list[IORequest]") -> int:
         """Submit a batch synchronously; returns the number of queued

@@ -63,6 +63,26 @@ class SimulatedSSD:
     #: the ``device.*`` counters aggregate this device's traffic into the
     #: run's observability registry (all devices of an array share one).
     counters: "object | None" = field(default=None, repr=False, compare=False)
+    #: Index of this device within its array (set by the array; used for
+    #: attributable error context and fault-plan targeting).
+    index: int = 0
+    #: Degradation multiplier set by fault injection: latency and byte
+    #: service time scale by this factor (1.0 = healthy).  A slow RAID
+    #: member stretches every batch it participates in — throughput
+    #: degrades, the run does not fail.
+    slow_factor: float = 1.0
+    #: False models a dead member: any request touching it raises a
+    #: retryable :class:`StorageError` (RAID-0 has no redundancy).
+    alive: bool = True
+
+    def check_alive(self, nbytes: int) -> None:
+        """Raise (with device context) if this member cannot serve I/O."""
+        if not self.alive:
+            raise StorageError(
+                f"device {self.index} is dead",
+                context={"device": self.index, "bytes": nbytes},
+                retryable=True,
+            )
 
     def _count(self, reads: bool, total: int, n: int, t: float) -> None:
         reg = self.counters
@@ -85,6 +105,8 @@ class SimulatedSSD:
         n = len(sizes)
         waves = ceil_div(n, self.profile.queue_depth)
         t = waves * self.profile.latency + total / self.profile.read_bandwidth
+        if self.slow_factor != 1.0:  # injected degradation, never the default
+            t *= self.slow_factor
         self.stats.bytes_read += total
         self.stats.read_requests += n
         self.stats.busy_time += t
@@ -103,6 +125,8 @@ class SimulatedSSD:
             return 0.0
         total = sum(sizes)
         t = len(sizes) * self.profile.latency + total / self.profile.read_bandwidth
+        if self.slow_factor != 1.0:
+            t *= self.slow_factor
         self.stats.bytes_read += total
         self.stats.read_requests += len(sizes)
         self.stats.busy_time += t
@@ -118,6 +142,8 @@ class SimulatedSSD:
         n = len(sizes)
         waves = ceil_div(n, self.profile.queue_depth)
         t = waves * self.profile.latency + total / self.profile.write_bandwidth
+        if self.slow_factor != 1.0:
+            t *= self.slow_factor
         self.stats.bytes_written += total
         self.stats.write_requests += n
         self.stats.busy_time += t

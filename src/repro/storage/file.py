@@ -82,7 +82,13 @@ class TileStore:
         """pread-style extent read returning a zero-copy view."""
         if offset < 0 or size < 0 or offset + size > self._size:
             raise StorageError(
-                f"extent ({offset}, {size}) outside store of {self._size} bytes"
+                f"extent ({offset}, {size}) outside store of {self._size} bytes",
+                context={
+                    "offset": offset,
+                    "size": size,
+                    "store_bytes": self._size,
+                    "path": self._path,
+                },
             )
         if size == 0:
             return _EMPTY
@@ -99,7 +105,16 @@ class TileStore:
             self._fh.seek(offset)
             out = self._fh.read(size)
         if len(out) != size:
-            raise StorageError(f"short read at {offset} (+{size})")
+            raise StorageError(
+                f"short read at {offset} (+{size})",
+                context={
+                    "offset": offset,
+                    "size": size,
+                    "got": len(out),
+                    "path": self._path,
+                },
+                retryable=True,
+            )
         return memoryview(out)
 
     def close(self) -> None:

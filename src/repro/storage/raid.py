@@ -68,7 +68,19 @@ class Raid0Array:
         if self.stripe_bytes <= 0:
             raise StorageError("stripe size must be positive")
         if not self.devices:
-            self.devices = [SimulatedSSD(self.profile) for _ in range(self.n_devices)]
+            self.devices = [
+                SimulatedSSD(self.profile, index=d) for d in range(self.n_devices)
+            ]
+        else:
+            for d, dev in enumerate(self.devices):
+                dev.index = d
+
+    def _check_members(self, per_dev_sizes: "list[list[int]]") -> None:
+        """All-or-nothing member check: a dead device that a batch touches
+        fails the whole batch *before* any device counter moves."""
+        for d, sizes in enumerate(per_dev_sizes):
+            if sizes and not self.devices[d].alive:
+                self.devices[d].check_alive(sum(sizes))
 
     def read_batch_time(self, extents: "list[tuple[int, int]]") -> float:
         """Service time of a batch of ``(offset, size)`` reads submitted
@@ -78,6 +90,7 @@ class Raid0Array:
             split = stripe_split(off, size, self.stripe_bytes, self.n_devices)
             for d in range(self.n_devices):
                 per_dev_sizes[d].extend(split[d])
+        self._check_members(per_dev_sizes)
         times = [
             self.devices[d].read_batch_time(per_dev_sizes[d])
             for d in range(self.n_devices)
@@ -90,6 +103,7 @@ class Raid0Array:
         total = 0.0
         for off, size in extents:
             split = stripe_split(off, size, self.stripe_bytes, self.n_devices)
+            self._check_members(split)
             per_req = [
                 self.devices[d].read_sync_time(split[d])
                 for d in range(self.n_devices)
@@ -107,6 +121,7 @@ class Raid0Array:
             for d in range(self.n_devices):
                 per_dev[d].extend(split[d])
             pos += size
+        self._check_members(per_dev)
         times = [
             self.devices[d].write_batch_time(per_dev[d])
             for d in range(self.n_devices)

@@ -11,28 +11,13 @@ from repro.algorithms.bfs import BFS
 from repro.engine.config import EngineConfig
 from repro.engine.gstore import GStoreEngine
 from repro.errors import FormatError, StorageError
+from repro.faults import FaultEvent, FaultInjector, FaultKind, FaultPlan
 from repro.format.tiles import TiledGraph
 from repro.format.validate import check_tiled_graph
 from repro.storage.aio import AIOContext, IORequest
 from repro.storage.file import TileStore
 from repro.storage.raid import Raid0Array
 from repro.util.timer import SimClock
-
-
-class _ShortReadStore(TileStore):
-    """A store whose reads are silently truncated after a byte budget."""
-
-    def __init__(self, data: bytes, fail_after: int):
-        super().__init__(data=data)
-        self._served = 0
-        self._fail_after = fail_after
-
-    def read(self, offset: int, size: int) -> bytes:
-        out = super().read(offset, size)
-        self._served += size
-        if self._served > self._fail_after:
-            return out[: max(0, len(out) - 1)]  # drop the final byte
-        return out
 
 
 class TestTruncatedReads:
@@ -58,19 +43,57 @@ class TestTruncatedReads:
                 ext, EngineConfig(memory_bytes=64 * 1024, segment_bytes=8 * 1024)
             ).run(algo)
 
-    def test_short_read_store_detected(self, tiled_undirected):
+    def test_short_read_detected_in_aio(self, tiled_undirected):
+        # Short reads are detected centrally by AIOContext.service — a
+        # persistently truncated request exhausts the retry budget and
+        # surfaces as a typed, context-rich StorageError; the decode layer
+        # never sees the bad bytes.
         tg = tiled_undirected
-        store = _ShortReadStore(tg.payload.tobytes(), fail_after=256)
-        clock = SimClock()
-        ctx = AIOContext(store=store, array=Raid0Array(), clock=clock)
-        # Eventually a truncated event arrives; decoding it must raise.
-        with pytest.raises(FormatError):
-            for pos in range(tg.n_tiles):
-                if tg.start_edge.edge_count(pos) == 0:
-                    continue
-                off, size = tg.start_edge.byte_extent(pos)
-                events, _ = ctx.read_batch([IORequest(off, size, tag=pos)])
-                tg.view_from_bytes(pos, events[0].data)
+        store = TileStore.from_tiled_graph(tg)
+        plan = FaultPlan(  # truncate on every attempt
+            events=(
+                FaultEvent(FaultKind.SHORT_READ, request=0, drop=1, count=10**6),
+            )
+        )
+        ctx = AIOContext(
+            store=store,
+            array=Raid0Array(),
+            clock=SimClock(),
+            injector=FaultInjector(plan),
+        )
+        pos = next(
+            p for p in range(tg.n_tiles) if tg.start_edge.edge_count(p) > 0
+        )
+        off, size = tg.start_edge.byte_extent(pos)
+        with pytest.raises(StorageError) as ei:
+            ctx.read_batch([IORequest(off, size, tag=pos)])
+        assert ei.value.context["offset"] == off
+        assert ei.value.context["tag"] == pos
+        assert ei.value.context["attempts"] == ctx.retry.max_attempts
+
+    def test_short_read_recovers_within_budget(self, tiled_undirected):
+        # A transiently short read heals on retry; the batch completes with
+        # full-size data and the recovery is counted.
+        tg = tiled_undirected
+        store = TileStore.from_tiled_graph(tg)
+        inj = FaultInjector(FaultPlan.parse("short@0:3"))
+        ctx = AIOContext(
+            store=store,
+            array=Raid0Array(),
+            clock=SimClock(),
+            injector=inj,
+        )
+        pos = next(
+            p for p in range(tg.n_tiles) if tg.start_edge.edge_count(p) > 0
+        )
+        off, size = tg.start_edge.byte_extent(pos)
+        events, t = ctx.read_batch([IORequest(off, size, tag=pos)])
+        assert len(events[0].data) == size
+        counters = inj.counters()
+        assert counters["retry.attempts"] == 1
+        assert counters["retry.recovered"] == 1
+        assert counters["fault.short"] == 1
+        assert t > 0.0
 
 
 class TestCorruptPayload:

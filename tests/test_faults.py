@@ -1,0 +1,443 @@
+"""The reliability plane: fault plans, checksums, retries, degradation,
+checkpoint/resume.
+
+The contract under test (docs/RELIABILITY.md): chaos runs are
+bit-deterministic — the same fault seed yields the same injected-fault
+sequence, the same ``fault.*``/``retry.*`` counters, and the same
+simulated-clock total at every prefetch depth — recovered runs produce
+results identical to clean ones, unrecoverable runs fail with typed
+context-rich errors, and resuming from a checkpoint reproduces the
+uninterrupted result bit-for-bit.
+"""
+
+import os
+import threading
+
+import numpy as np
+import pytest
+
+from repro.algorithms.bfs import BFS
+from repro.algorithms.cc import ConnectedComponents
+from repro.algorithms.pagerank import PageRank
+from repro.engine.checkpoint import CheckpointManager, capture_state
+from repro.engine.config import EngineConfig
+from repro.engine.gstore import GStoreEngine
+from repro.errors import (
+    AlgorithmError,
+    CheckpointError,
+    ChecksumError,
+    FormatError,
+    StorageError,
+)
+from repro.faults import (
+    FaultEvent,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    FaultRates,
+    crc32c,
+)
+from repro.format.tiles import TiledGraph
+from repro.format.validate import check_tiled_graph
+
+# High enough that faults actually land inside the ~dozen request
+# ordinals a tiny test run issues (the default rates target long runs).
+HOT_RATES = FaultRates(transient=0.3, short_read=0.1, spike=0.2)
+
+
+def _cfg(**kw) -> EngineConfig:
+    base = dict(memory_bytes=64 * 1024, segment_bytes=8 * 1024)
+    base.update(kw)
+    return EngineConfig(**base)
+
+
+# --------------------------------------------------------------------- #
+# CRC32C kernel
+# --------------------------------------------------------------------- #
+
+
+class TestCrc32c:
+    def test_rfc3720_vectors(self):
+        # Test vectors from RFC 3720 §B.4 (iSCSI CRC32C).
+        assert crc32c(b"") == 0
+        assert crc32c(b"123456789") == 0xE3069283
+        assert crc32c(b"\x00" * 32) == 0x8A9136AA
+        assert crc32c(b"\xff" * 32) == 0x62A8AB43
+
+    def test_incremental(self):
+        data = bytes(range(256)) * 3
+        assert crc32c(data) == crc32c(data[100:], crc32c(data[:100]))
+
+    def test_bit_flip_changes_checksum(self):
+        data = bytearray(b"graph tile payload bytes")
+        base = crc32c(bytes(data))
+        data[5] ^= 0x10
+        assert crc32c(bytes(data)) != base
+
+
+# --------------------------------------------------------------------- #
+# Fault plans
+# --------------------------------------------------------------------- #
+
+
+class TestFaultPlan:
+    def test_parse_tokens(self):
+        plan = FaultPlan.parse(
+            "transient@3:2,persistent@7,short@1:5,bitflip@2:12,"
+            "spike@5:0.01,slow:1:4,dead:2"
+        )
+        kinds = {e.kind for e in plan.events}
+        assert kinds == set(FaultKind)
+        ev = plan.event_for(3)
+        assert ev.kind is FaultKind.TRANSIENT and ev.count == 2
+        assert plan.event_for(7).kind is FaultKind.PERSISTENT
+        assert plan.event_for(1).drop == 5
+        assert plan.event_for(2).bit == 12
+        assert plan.event_for(5).delay == pytest.approx(0.01)
+        devs = {e.device: e for e in plan.device_events()}
+        assert devs[1].factor == pytest.approx(4.0)
+        assert devs[2].kind is FaultKind.DEVICE_DEAD
+
+    def test_parse_seed(self):
+        plan = FaultPlan.parse("42")
+        assert plan.seed == 42 and not plan.events
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(StorageError):
+            FaultPlan.parse("")
+        with pytest.raises(StorageError):
+            FaultPlan.parse("frobnicate@3")
+
+    def test_seeded_schedule_is_deterministic(self):
+        plan = FaultPlan.from_seed(7, HOT_RATES)
+        first = [plan.event_for(k) for k in range(200)]
+        second = [plan.event_for(k) for k in range(200)]
+        assert first == second
+        assert any(e is not None for e in first)
+
+    def test_different_seeds_differ(self):
+        a = [FaultPlan.from_seed(1, HOT_RATES).event_for(k) for k in range(200)]
+        b = [FaultPlan.from_seed(2, HOT_RATES).event_for(k) for k in range(200)]
+        assert a != b
+
+
+# --------------------------------------------------------------------- #
+# Checksummed tile format
+# --------------------------------------------------------------------- #
+
+
+class TestChecksums:
+    def test_save_load_roundtrip(self, tmp_path, tiled_undirected):
+        d = tmp_path / "g"
+        tiled_undirected.save(d)
+        tg = TiledGraph.load(d)
+        assert tg.info.format_version == 2
+        assert tg.tile_checksums is not None
+        assert tg.tile_checksums.shape[0] == tg.n_tiles
+        assert tg.verify_checksums() == []
+
+    def test_v1_file_loads_without_checksums(self, tmp_path, tiled_undirected):
+        # A graph saved before checksums existed: same files, no
+        # tile_checksums entry in the aux npz.
+        d = tmp_path / "g"
+        tiled_undirected.save(d)
+        aux_path = d / "degrees.npz"
+        with np.load(aux_path) as z:
+            aux = {k: z[k] for k in z.files if k != "tile_checksums"}
+        np.savez(aux_path, **aux)
+        tg = TiledGraph.load(d)
+        assert tg.tile_checksums is None
+        with pytest.raises(FormatError):
+            tg.verify_checksums()
+        rep = check_tiled_graph(tg, deep=False, checksums=True)
+        assert rep.checksums_unavailable
+
+    def test_fsck_catches_corruption(self, tmp_path, tiled_undirected):
+        d = tmp_path / "g"
+        tiled_undirected.save(d)
+        payload = d / "tiles.dat"
+        raw = bytearray(payload.read_bytes())
+        raw[3] ^= 0x40
+        payload.write_bytes(bytes(raw))
+        rep = check_tiled_graph(
+            TiledGraph.load(d), deep=False, checksums=True
+        )
+        assert not rep.ok
+        assert any("checksum mismatch" in e for e in rep.errors)
+
+    def test_decode_rejects_bit_flip(self, tiled_undirected):
+        # An injected bit-flip surfaces as a typed ChecksumError with the
+        # tile position and extent in .context — not a garbage result.
+        pos = next(
+            p
+            for p in range(tiled_undirected.n_tiles)
+            if tiled_undirected.start_edge.edge_count(p) > 0
+        )
+        eng = GStoreEngine(
+            tiled_undirected,
+            _cfg(faults=FaultPlan.parse(f"bitflip@{pos}"), prefetch_depth=0),
+        )
+        with pytest.raises(ChecksumError) as ei:
+            eng.run(BFS(root=0))
+        ctx = ei.value.context
+        assert {"tile", "i", "j", "offset", "size", "expected", "actual"} <= set(
+            ctx
+        )
+
+
+# --------------------------------------------------------------------- #
+# Chaos runs: recovery, determinism, typed failure
+# --------------------------------------------------------------------- #
+
+
+class TestChaosRuns:
+    def test_seeded_chaos_run_recovers(self, tiled_undirected):
+        clean = BFS(root=0)
+        GStoreEngine(tiled_undirected, _cfg()).run(clean)
+
+        chaos = BFS(root=0)
+        eng = GStoreEngine(
+            tiled_undirected,
+            _cfg(faults=FaultPlan.from_seed(7, HOT_RATES)),
+        )
+        stats = eng.run(chaos)
+        np.testing.assert_array_equal(clean.depth, chaos.depth)
+        counters = eng.injector.counters()
+        assert counters.get("retry.attempts", 0) > 0
+        assert counters.get("retry.exhausted", 0) == 0
+        assert stats.extra["faults"]["injected"] > 0
+
+    @pytest.mark.parametrize("spec", ["7", "42"])
+    def test_fault_sequence_identical_across_depths(self, tiled_undirected, spec):
+        # The determinism contract: same seed => identical injected-fault
+        # log, counters, and sim-clock total at depths 0, 2, and 4.
+        runs = []
+        for depth in (0, 2, 4):
+            algo = BFS(root=0)
+            eng = GStoreEngine(
+                tiled_undirected,
+                _cfg(
+                    faults=FaultPlan(seed=int(spec), rates=HOT_RATES),
+                    prefetch_depth=depth,
+                ),
+            )
+            stats = eng.run(algo)
+            runs.append(
+                (
+                    eng.injector.log_tuples(),
+                    eng.injector.counters(),
+                    stats.sim_elapsed,
+                    algo.depth.copy(),
+                )
+            )
+        logs, counters, sims, depths = zip(*runs)
+        assert logs[0] == logs[1] == logs[2]
+        assert counters[0] == counters[1] == counters[2]
+        assert sims[0] == sims[1] == sims[2]
+        np.testing.assert_array_equal(depths[0], depths[1])
+        np.testing.assert_array_equal(depths[0], depths[2])
+        assert any(t[1] != "spike" for t in logs[0])  # something retried
+
+    def test_backoff_charged_to_sim_clock(self, tiled_undirected):
+        base = GStoreEngine(tiled_undirected, _cfg(prefetch_depth=0)).run(
+            BFS(root=0)
+        )
+        eng = GStoreEngine(
+            tiled_undirected,
+            _cfg(faults=FaultPlan.parse("transient@0"), prefetch_depth=0),
+        )
+        stats = eng.run(BFS(root=0))
+        counters = eng.injector.counters()
+        assert counters["retry.attempts"] == 1
+        assert counters["retry.recovered"] == 1
+        backoff = counters["retry.backoff_time_sim"]
+        assert backoff > 0
+        assert stats.sim_elapsed == pytest.approx(base.sim_elapsed + backoff)
+
+    def test_persistent_fault_fails_typed(self, tiled_undirected):
+        eng = GStoreEngine(
+            tiled_undirected,
+            _cfg(faults=FaultPlan.parse("persistent@0"), prefetch_depth=0),
+        )
+        with pytest.raises(StorageError) as ei:
+            eng.run(BFS(root=0))
+        assert not ei.value.retryable
+        ctx = ei.value.context
+        assert ctx["attempts"] == eng.config.retry.max_attempts
+        assert "batch_requests" in ctx
+        assert eng.injector.counters()["retry.exhausted"] == 1
+
+    def test_dead_device_fails_typed_with_device_id(self, tiled_undirected):
+        eng = GStoreEngine(
+            tiled_undirected,
+            _cfg(faults=FaultPlan.parse("dead:0"), n_ssds=2),
+        )
+        with pytest.raises(StorageError) as ei:
+            eng.run(BFS(root=0))
+        assert ei.value.context["device"] == 0
+
+    def test_slow_member_degrades_not_fails(self, tiled_undirected):
+        clean = GStoreEngine(tiled_undirected, _cfg(n_ssds=2)).run(BFS(root=0))
+        algo = BFS(root=0)
+        eng = GStoreEngine(
+            tiled_undirected,
+            _cfg(faults=FaultPlan.parse("slow:0:8"), n_ssds=2),
+        )
+        slow = eng.run(algo)
+        assert slow.sim_elapsed > clean.sim_elapsed
+        assert (algo.depth == 0).sum() == 1
+
+
+class TestDegradedMode:
+    def test_prefetch_falls_back_to_serial(self, tiled_undirected):
+        # A persistent fault inside the prefetch worker drains the
+        # pipeline and falls back to serial engine-thread I/O (which
+        # re-issues with fresh ordinals and succeeds) — no deadlock, no
+        # thread leak, correct results.
+        clean = BFS(root=0)
+        GStoreEngine(tiled_undirected, _cfg()).run(clean)
+
+        before = threading.active_count()
+        algo = BFS(root=0)
+        eng = GStoreEngine(
+            tiled_undirected,
+            _cfg(faults=FaultPlan.parse("persistent@3"), prefetch_depth=2),
+        )
+        stats = eng.run(algo)
+        eng.close()
+        np.testing.assert_array_equal(clean.depth, algo.depth)
+        assert stats.extra["execution"]["degraded"] is True
+        assert eng.injector.counters()["fault.prefetch_fallbacks"] == 1
+        assert threading.active_count() <= before
+
+
+# --------------------------------------------------------------------- #
+# Checkpoint / resume
+# --------------------------------------------------------------------- #
+
+
+def _interrupted_then_resumed(tiled, make_algo, tmp_path, result_of, interrupt=3):
+    """Run clean; run interrupted at iteration ``interrupt`` + resume; compare."""
+    clean = make_algo()
+    GStoreEngine(tiled, _cfg()).run(clean)
+
+    ckpt = os.fspath(tmp_path / "ckpt")
+    interrupted = make_algo()
+    with pytest.raises(AlgorithmError):
+        GStoreEngine(tiled, _cfg(max_iterations=interrupt)).run(
+            interrupted, checkpoint=ckpt
+        )
+    assert CheckpointManager(ckpt).exists()
+
+    resumed = make_algo()
+    GStoreEngine(tiled, _cfg()).run(resumed, checkpoint=ckpt)
+    np.testing.assert_array_equal(result_of(clean), result_of(resumed))
+
+
+class TestCheckpointResume:
+    def test_bfs_resume_bit_identical(self, tmp_path, tiled_undirected):
+        _interrupted_then_resumed(
+            tiled_undirected, lambda: BFS(root=0), tmp_path, lambda a: a.depth
+        )
+
+    def test_pagerank_resume_bit_identical(self, tmp_path, tiled_undirected):
+        # Float accumulation order must match exactly — this is the test
+        # that requires the checkpoint to record cache-pool membership.
+        _interrupted_then_resumed(
+            tiled_undirected,
+            lambda: PageRank(max_iterations=12),
+            tmp_path,
+            lambda a: a.rank,
+        )
+
+    def test_cc_resume_bit_identical(self, tmp_path, tiled_undirected):
+        # CC converges in two iterations on this graph — interrupt at one.
+        _interrupted_then_resumed(
+            tiled_undirected,
+            lambda: ConnectedComponents(),
+            tmp_path,
+            lambda a: a.comp,
+            interrupt=1,
+        )
+
+    def test_resume_after_fault_abort(self, tmp_path, tiled_undirected):
+        # The acceptance scenario: a run killed by an unrecoverable
+        # StorageError resumes from its last checkpoint and reproduces
+        # the uninterrupted result.
+        # A 16 KB budget keeps the pool too small to cache the whole
+        # graph, so every iteration issues one AIO batch (one ordinal) —
+        # persistent@8 therefore kills the run mid-way, after eight
+        # checkpoints exist.
+        small = dict(memory_bytes=16 * 1024, prefetch_depth=0)
+        clean = PageRank(max_iterations=12)
+        GStoreEngine(tiled_undirected, _cfg(**small)).run(clean)
+
+        ckpt = os.fspath(tmp_path / "ckpt")
+        doomed = PageRank(max_iterations=12)
+        with pytest.raises(StorageError):
+            GStoreEngine(
+                tiled_undirected,
+                _cfg(faults=FaultPlan.parse("persistent@8"), **small),
+            ).run(doomed, checkpoint=ckpt)
+        assert CheckpointManager(ckpt).exists()
+        assert doomed.iterations_run < clean.iterations_run
+
+        resumed = PageRank(max_iterations=12)
+        GStoreEngine(tiled_undirected, _cfg(**small)).run(resumed, checkpoint=ckpt)
+        np.testing.assert_array_equal(clean.rank, resumed.rank)
+        assert resumed.iterations_run == clean.iterations_run
+
+    def test_checkpoint_rejects_wrong_algorithm(self, tmp_path, tiled_undirected):
+        ckpt = os.fspath(tmp_path / "ckpt")
+        with pytest.raises(AlgorithmError):
+            GStoreEngine(tiled_undirected, _cfg(max_iterations=2)).run(
+                PageRank(max_iterations=12), checkpoint=ckpt
+            )
+        with pytest.raises(CheckpointError):
+            GStoreEngine(tiled_undirected, _cfg()).run(
+                BFS(root=0), checkpoint=ckpt
+            )
+
+    def test_torn_checkpoint_detected(self, tmp_path, tiled_undirected):
+        ckpt = tmp_path / "ckpt"
+        with pytest.raises(AlgorithmError):
+            GStoreEngine(tiled_undirected, _cfg(max_iterations=2)).run(
+                PageRank(max_iterations=12), checkpoint=os.fspath(ckpt)
+            )
+        (ckpt / "meta.json").write_text("{not json", encoding="utf-8")
+        with pytest.raises(CheckpointError):
+            CheckpointManager(os.fspath(ckpt)).load()
+
+    def test_capture_state_splits_arrays_and_scalars(self):
+        class Dummy:
+            pass
+
+        d = Dummy()
+        d.graph = object()
+        d.rank = np.arange(4, dtype=np.float64)
+        d.delta = 0.5
+        d.iterations_run = 3
+        d.note = None
+        d.scratch = {"skip": "me"}
+        arrays, scalars = capture_state(d)
+        assert set(arrays) == {"rank"}
+        assert scalars == {"delta": 0.5, "iterations_run": 3, "note": None}
+
+
+# --------------------------------------------------------------------- #
+# Clean-path invariance
+# --------------------------------------------------------------------- #
+
+
+class TestCleanPathUnchanged:
+    def test_no_faults_means_no_fault_stats(self, tiled_undirected):
+        eng = GStoreEngine(tiled_undirected, _cfg())
+        stats = eng.run(BFS(root=0))
+        assert eng.injector is None
+        assert "faults" not in stats.extra
+        assert stats.extra["execution"]["degraded"] is False
+
+    def test_injector_counters_empty_without_faults(self, tiled_undirected):
+        inj = FaultInjector(FaultPlan(events=()))
+        assert inj.counters() == {}
+        assert inj.log_tuples() == []
