@@ -47,6 +47,7 @@ from repro.engine.config import EngineConfig  # noqa: E402
 from repro.engine.gstore import GStoreEngine  # noqa: E402
 from repro.format.tiles import TiledGraph  # noqa: E402
 from repro.graphgen.rmat import rmat  # noqa: E402
+from repro.runtime.threads import execution_fingerprint  # noqa: E402
 from repro.storage.device import DeviceProfile  # noqa: E402
 
 ALGOS = {
@@ -179,6 +180,7 @@ def main(argv=None) -> int:
             "platform": platform.platform(),
             "python": platform.python_version(),
             "cpus": os.cpu_count(),
+            **execution_fingerprint(),
         },
         "graph": {
             "scale": args.scale,

@@ -87,30 +87,44 @@ class BFS(TileAlgorithm):
     # ------------------------------------------------------------------ #
 
     supports_fused = True
+    supports_process = True
 
-    def batch_partial(self, views):
-        """One gather + one mask over the concatenated batch (read-only).
+    def kernel_state(self):
+        return {"depth": self.depth}
+
+    def kernel_params(self):
+        return {"level": self.level, "symmetric": self.symmetric}
+
+    @staticmethod
+    def kernel_partial(state, params, gsrc, gdst):
+        """One gather + one mask over the concatenated shard (read-only).
 
         The discovery sets are snapshot-independent: whatever interleaving
         of tiles and batches runs, a vertex ends at ``level + 1`` iff some
         tile reports it, so per-tile, fused, and sharded execution converge
-        on bit-identical depth arrays.
+        on bit-identical depth arrays — on any backend (the fancy-indexed
+        targets are fresh arrays, never views into shared memory).
         """
-        depth = self.depth
-        level = np.uint32(self.level)
-        gsrc, gdst = concat_global_edges(views)
+        depth = state["depth"]
+        level = np.uint32(params["level"])
         src_d = depth[gsrc]
         dst_d = depth[gdst]
         fwd = (src_d == level) & (dst_d == INF_DEPTH)
         fwd_targets = gdst[fwd]
         bwd_targets = None
-        if self.symmetric:
+        if params["symmetric"]:
             # Algorithm 1 lines 8-10: the stored upper triangle also carries
             # the mirrored edge, so expand the frontier backwards too.
             bwd = (dst_d == level) & (src_d == INF_DEPTH)
             bwd_targets = gsrc[bwd]
         edges = int(gsrc.shape[0])
         return fwd_targets, bwd_targets, edges
+
+    def batch_partial(self, views):
+        gsrc, gdst = concat_global_edges(views)
+        return self.kernel_partial(
+            self.kernel_state(), self.kernel_params(), gsrc, gdst
+        )
 
     def apply_partial(self, partial) -> int:
         fwd_targets, bwd_targets, edges = partial

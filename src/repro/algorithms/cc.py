@@ -61,24 +61,37 @@ class ConnectedComponents(TileAlgorithm):
     # ------------------------------------------------------------------ #
 
     supports_fused = True
+    supports_process = True
 
-    def batch_partial(self, views):
+    def kernel_state(self):
+        return {"prev": self._prev}
+
+    def kernel_params(self):
+        return {}
+
+    @staticmethod
+    def kernel_partial(state, params, gsrc, gdst):
         """Gather propagation candidates from the iteration-start snapshot.
 
-        Labels are gathered from ``self._prev`` (frozen in
-        ``begin_iteration``), so the min-scatter commutes: any tile order,
-        batch shape, or shard interleaving produces the same labels —
+        Labels are gathered from ``prev`` (frozen in ``begin_iteration``),
+        so the min-scatter commutes: any tile order, batch shape, shard
+        interleaving, or execution backend produces the same labels —
         elementwise ``min`` over the candidates.  Convergence still takes
         very few iterations because the pointer-jumping compress between
         iterations does the long-range hops.
         """
-        prev = self._prev
-        gsrc, gdst = concat_global_edges(views)
+        prev = state["prev"]
         # WCC treats every edge as undirected: propagate the minimum label
         # both ways regardless of the stored orientation.
         idx = np.concatenate([gdst, gsrc])
         vals = np.concatenate([prev[gsrc], prev[gdst]])
         return idx, vals, int(gsrc.shape[0])
+
+    def batch_partial(self, views):
+        gsrc, gdst = concat_global_edges(views)
+        return self.kernel_partial(
+            self.kernel_state(), self.kernel_params(), gsrc, gdst
+        )
 
     def apply_partial(self, partial) -> int:
         idx, vals, edges = partial

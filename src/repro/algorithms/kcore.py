@@ -69,17 +69,24 @@ class KCore(TileAlgorithm):
     # ------------------------------------------------------------------ #
 
     supports_fused = True
+    supports_process = True
 
-    def batch_partial(self, views):
-        """One fused mask pass over the batch (read-only).
+    def kernel_state(self):
+        return {"removed": self._removed_now, "active": self.active}
+
+    def kernel_params(self):
+        return {}
+
+    @staticmethod
+    def kernel_partial(state, params, gsrc, gdst):
+        """One fused mask pass over the shard (read-only).
 
         ``removed``/``active`` are frozen for the iteration and decrements
         are integer sums, so the result is independent of tile order,
-        batching, and sharding.
+        batching, sharding, and execution backend.
         """
-        removed = self._removed_now
-        active = self.active
-        gsrc, gdst = concat_global_edges(views)
+        removed = state["removed"]
+        active = state["active"]
         # An edge whose one endpoint was just peeled lowers the residual
         # degree of the surviving endpoint.  Duplicate decrements from
         # multi-edges are consistent (degrees counted them too).
@@ -92,6 +99,12 @@ class KCore(TileAlgorithm):
             hits.append(gsrc[hit])
         targets = np.concatenate(hits) if hits else None
         return targets, int(gsrc.shape[0])
+
+    def batch_partial(self, views):
+        gsrc, gdst = concat_global_edges(views)
+        return self.kernel_partial(
+            self.kernel_state(), self.kernel_params(), gsrc, gdst
+        )
 
     def apply_partial(self, partial) -> int:
         targets, edges = partial

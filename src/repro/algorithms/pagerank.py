@@ -137,6 +137,7 @@ class PageRank(TileAlgorithm):
     # ------------------------------------------------------------------ #
 
     supports_fused = True
+    supports_process = True
 
     def batch_shards(self, views):
         # Each partial is a dense |V|-vector, so the shard count must stay
@@ -144,20 +145,32 @@ class PageRank(TileAlgorithm):
         # order (and hence results) identical at any parallelism.
         return chunk_by_edges(views, FLOAT_SHARD_QUANTUM)
 
-    def batch_partial(self, views):
+    def kernel_state(self):
+        return {"contrib": self._contrib}
+
+    def kernel_params(self):
+        return {"n": self._graph().n_vertices, "symmetric": self.symmetric}
+
+    @staticmethod
+    def kernel_partial(state, params, gsrc, gdst):
         """Read-only fused pass: one weighted bincount over the whole shard.
 
-        ``self._contrib`` is frozen for the iteration, so this is safe to
-        run concurrently with other shards."""
-        g = self._graph()
-        n = g.n_vertices
-        contrib = self._contrib
-        gsrc, gdst = concat_global_edges(views)
+        ``contrib`` is frozen for the iteration, so this is safe to run
+        concurrently with other shards — threads or worker processes; the
+        partial is a fresh dense |V|-vector either way."""
+        contrib = state["contrib"]
+        n = params["n"]
         part = scatter_sums(gdst, contrib[gsrc], n)
-        if self.symmetric:
+        if params["symmetric"]:
             # The stored upper triangle carries the mirrored edge too.
             part += scatter_sums(gsrc, contrib[gdst], n)
         return part, int(gsrc.shape[0])
+
+    def batch_partial(self, views):
+        gsrc, gdst = concat_global_edges(views)
+        return self.kernel_partial(
+            self.kernel_state(), self.kernel_params(), gsrc, gdst
+        )
 
     def apply_partial(self, partial) -> int:
         part, edges = partial

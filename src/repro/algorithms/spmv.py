@@ -75,22 +75,34 @@ class SpMV(TileAlgorithm):
     # ------------------------------------------------------------------ #
 
     supports_fused = True
+    supports_process = True
 
     def batch_shards(self, views):
         # Dense |V|-vector partials: fixed, worker-independent shard quantum
         # (see PageRank.batch_shards).
         return chunk_by_edges(views, FLOAT_SHARD_QUANTUM)
 
-    def batch_partial(self, views):
-        """Read-only fused pass (``self.x`` is frozen within an iteration)."""
-        g = self._graph()
-        n = g.n_vertices
-        x = self.x
-        gsrc, gdst = concat_global_edges(views)
+    def kernel_state(self):
+        return {"x": self.x}
+
+    def kernel_params(self):
+        return {"n": self._graph().n_vertices, "symmetric": self.symmetric}
+
+    @staticmethod
+    def kernel_partial(state, params, gsrc, gdst):
+        """Read-only fused pass (``x`` is frozen within an iteration)."""
+        x = state["x"]
+        n = params["n"]
         part = scatter_sums(gdst, x[gsrc], n)
-        if self.symmetric:
+        if params["symmetric"]:
             part += scatter_sums(gsrc, x[gdst], n)
         return part, int(gsrc.shape[0])
+
+    def batch_partial(self, views):
+        gsrc, gdst = concat_global_edges(views)
+        return self.kernel_partial(
+            self.kernel_state(), self.kernel_params(), gsrc, gdst
+        )
 
     def apply_partial(self, partial) -> int:
         part, edges = partial

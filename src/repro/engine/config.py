@@ -13,6 +13,9 @@ Every optimisation the paper ablates is a field here:
 * ``prefetch_depth`` — the *real* (wall-clock) prefetch pipeline: how many
   segment batches a background worker fetches + decodes ahead of compute
   (0 = strictly serial fetch-then-compute, the ablation baseline).
+* ``backend`` / ``workers`` — how the fused kernels' partial phase
+  executes: serially, sharded over GIL-sharing threads, or sharded over
+  worker processes fed through shared memory (true multicore).
 
 ``trace`` is not an ablation but the observability switch: it turns on
 the ``repro.obs`` span tracer and counters registry for the run.
@@ -62,6 +65,17 @@ class EngineConfig:
     #: the default to the machine's core count (falling back to serial on a
     #: single-core box); results are bit-identical at any worker count.
     workers: "int | str" = 1
+    #: Execution backend for the fused kernels' partial phase:
+    #: ``"thread"`` shards over the worker thread pool (NumPy releases the
+    #: GIL inside kernels, but Python-level overhead still serialises),
+    #: ``"process"`` over a persistent pool of worker *processes* fed
+    #: through shared memory (true multicore parallelism), ``"serial"``
+    #: forces the single-threaded shard walk for debugging.  ``None``
+    #: resolves from the ``REPRO_BACKEND`` environment variable, default
+    #: ``"thread"``.  Results are bit-identical on every backend; if
+    #: shared memory or process spawning is unavailable the engine falls
+    #: back to ``"thread"`` gracefully.
+    backend: "str | None" = None
     #: Real prefetch pipeline depth: batches ``k+1..k+depth`` are fetched
     #: and decoded by a background worker while batch ``k`` computes on the
     #: engine thread.  0 disables the pipeline entirely (the serial
@@ -109,6 +123,13 @@ class EngineConfig:
         ):
             raise StorageError(
                 f"workers must be a positive int or 'auto', got {self.workers!r}"
+            )
+        if self.backend is not None and self.backend not in (
+            "serial", "thread", "process",
+        ):
+            raise StorageError(
+                f"backend must be 'serial', 'thread', 'process', or None "
+                f"(REPRO_BACKEND default), got {self.backend!r}"
             )
         if self.prefetch_depth < 0:
             raise StorageError("prefetch_depth must be >= 0")

@@ -56,11 +56,20 @@ from repro.storage.raid import Raid0Array
 from repro.util.timer import SimClock, WallTimer
 from repro.runtime.pipeline import PipelineTimeline, WallOverlap
 from repro.runtime.threads import (
+    DEFAULT_MAX_SHARDS,
     Prefetcher,
+    ProcessPool,
+    ProcessPoolError,
+    ShmArena,
     WorkerPool,
     execute_batch,
+    resolve_backend,
     resolve_workers,
 )
+
+#: Numeric codes for the ``engine.backend`` gauge (gauges hold numbers);
+#: the string itself is in ``RunStats.extra["execution"]["backend"]``.
+BACKEND_CODES = {"serial": 0, "thread": 1, "process": 2}
 
 
 #: Run-level views are split into this many equal-edge pieces per batch —
@@ -162,10 +171,21 @@ class GStoreEngine:
         #: Resolved row-parallel worker count ("auto" clamps to the cores
         #: actually present; 1 routes through the serial path).
         self.workers = resolve_workers(self.config.workers)
+        #: Requested execution backend (``config.backend``, or the
+        #: ``REPRO_BACKEND`` environment default).
+        self.backend = resolve_backend(self.config.backend)
+        # The *live* backend: starts at the requested one and degrades to
+        # "thread" if shared memory / process spawning is unavailable or a
+        # worker process dies mid-run.
+        self._backend = self.backend
         # One persistent pool per engine, shared by the fused layer and the
         # off-critical-path rewind decode; threads spawn lazily on first
         # use and are joined by close().
         self._pool: "WorkerPool | None" = None
+        # Process-backend runtime (worker processes + shared-memory arena);
+        # created lazily by _process_runtime(), torn down by close().
+        self._ppool: "ProcessPool | None" = None
+        self._arena: "ShmArena | None" = None
         #: Wall-clock overlap accounting for the most recent run.
         self.wall_overlap = WallOverlap()
         # Memoized rewind batch: all-active algorithms rewind the same tile
@@ -198,11 +218,88 @@ class GStoreEngine:
             self._pool = WorkerPool(workers=self.workers)
         return self._pool
 
+    @property
+    def kernel_workers(self) -> int:
+        """Parallelism of the fused kernels' partial phase.
+
+        The ``serial`` backend forces 1 (the debugging reference walk)
+        whatever ``config.workers`` says; the others use the resolved
+        worker count.
+        """
+        return 1 if self._backend == "serial" else self.workers
+
+    @property
+    def backend_resolved(self) -> str:
+        """The backend actually in effect (after any graceful fallback)."""
+        return self._backend
+
+    def _process_runtime(self) -> "tuple[ProcessPool | None, ShmArena | None]":
+        """The process backend's pool + arena, created on first use.
+
+        Falls back to the thread backend — permanently, for this engine —
+        when shared memory or process spawning is unavailable (no
+        ``/dev/shm``, sandboxed spawn, ...), mirroring the prefetcher's
+        graceful-degradation contract: the run completes either way with
+        bit-identical results.
+        """
+        if self._backend != "process" or self.workers <= 1:
+            return None, None
+        if self._ppool is None:
+            arena = None
+            try:
+                arena = ShmArena(
+                    registry=self.tracer.registry
+                    if self.tracer.enabled
+                    else None
+                )
+                arena.ensure(arena.ALIGN)  # probe shared memory now
+                ppool = ProcessPool(self.workers)
+                ppool.start()
+            except Exception as exc:
+                if arena is not None:
+                    arena.close()
+                self._fallback_to_thread("spawn_failed", exc)
+                return None, None
+            self._ppool, self._arena = ppool, arena
+        return self._ppool, self._arena
+
+    def _fallback_to_thread(self, reason: str, exc: BaseException) -> None:
+        """Degrade the live backend to ``thread`` (counted + traced)."""
+        self._backend = "thread"
+        if self.tracer.enabled:
+            self.tracer.registry.counter("process.fallbacks").add(1)
+            self.tracer.instant(
+                "process_fallback", cat="process", reason=reason,
+                error=str(exc),
+            )
+
+    def _teardown_process_runtime(self) -> None:
+        ppool, self._ppool = self._ppool, None
+        arena, self._arena = self._arena, None
+        if ppool is not None:
+            ppool.shutdown()
+        if arena is not None:
+            arena.close()
+
+    def warm_backend(self) -> str:
+        """Start the configured backend's workers now; returns the live
+        backend.  Benchmarks call this before timing so the one-time
+        process spawn (interpreter + NumPy import per worker) is paid off
+        the measured path — in a persistent engine it amortises to zero.
+        """
+        if self._backend == "process":
+            self._process_runtime()
+        elif self._backend == "thread" and self.workers > 1:
+            self.pool.executor  # noqa: B018 - touch spawns the threads
+        return self._backend
+
     def close(self) -> None:
-        """Join and release the engine's worker threads (idempotent)."""
+        """Join and release the engine's workers — threads and processes —
+        and unlink the shared-memory arena (idempotent)."""
         pool, self._pool = self._pool, None
         if pool is not None:
             pool.shutdown()
+        self._teardown_process_runtime()
 
     def __enter__(self) -> "GStoreEngine":
         return self
@@ -317,6 +414,8 @@ class GStoreEngine:
             "fused": cfg.fused and algorithm.supports_fused,
             "workers": cfg.workers,
             "workers_resolved": self.workers,
+            "backend": self.backend,
+            "backend_resolved": self._backend,
             "prefetch_depth": cfg.prefetch_depth,
             "realize_io": cfg.realize_io,
             "degraded": self._degraded,
@@ -328,6 +427,11 @@ class GStoreEngine:
                 "counters": self.injector.counters(),
             }
         if self.tracer.enabled:
+            # Recorded after the run so the gauge reflects the backend the
+            # run actually finished on (post any graceful fallback).
+            self.tracer.registry.gauge("engine.backend").set(
+                BACKEND_CODES[self._backend]
+            )
             stats.extra["counters"] = self.tracer.registry.as_dict()
         return stats
 
@@ -360,6 +464,7 @@ class GStoreEngine:
                 # the prefetcher can run arbitrarily far ahead of compute.
                 plan: SlidePlan = scr.segment_plan(to_fetch, g.start_edge)
             fused = cfg.fused and algorithm.supports_fused
+            self._presize_arena(algorithm, plan)
 
             prefetcher: "Prefetcher | None" = None
             if cfg.prefetch_depth > 0 and plan.n_batches > 0 and not self._degraded:
@@ -389,11 +494,7 @@ class GStoreEngine:
                         "compute", cat="compute", phase="rewind",
                         tiles=len(cached),
                     ):
-                        edges = execute_batch(
-                            algorithm, views, fused=cfg.fused,
-                            workers=self.workers,
-                            pool=self.pool if self.workers > 1 else None,
-                        )
+                        edges = self._execute_views(algorithm, views)
                     self.wall_overlap.compute_busy += _time.perf_counter() - tc0
                     t = cfg.cost_model.compute_time(
                         algorithm.name, edges * algorithm.direction_passes,
@@ -659,6 +760,59 @@ class GStoreEngine:
         self._rewind_merged = views
         return views
 
+    def _execute_views(self, algorithm: TileAlgorithm, views) -> int:
+        """Route one batch through the live backend's ``execute_batch``.
+
+        The single funnel for kernel execution: picks the worker count
+        (the ``serial`` backend forces 1), attaches the process runtime
+        when the algorithm speaks the process-kernel contract, and — if a
+        worker process dies mid-batch — degrades to the thread backend and
+        recomputes the batch there.  The retry is safe because partials
+        are only applied after every shard returns: a crashed batch has
+        mutated no algorithm state, so the thread recompute sees exactly
+        the inputs the process attempt saw and determinism holds.
+        """
+        kw = self.kernel_workers
+        ppool = arena = None
+        if kw > 1 and algorithm.supports_process:
+            ppool, arena = self._process_runtime()
+        try:
+            return execute_batch(
+                algorithm, views, fused=self.config.fused, workers=kw,
+                pool=self.pool if kw > 1 else None,
+                ppool=ppool, arena=arena, tracer=self.tracer,
+            )
+        except ProcessPoolError as exc:
+            self._teardown_process_runtime()
+            self._fallback_to_thread("worker_died", exc)
+            kw = self.kernel_workers
+            return execute_batch(
+                algorithm, views, fused=self.config.fused, workers=kw,
+                pool=self.pool if kw > 1 else None, tracer=self.tracer,
+            )
+
+    def _presize_arena(self, algorithm: TileAlgorithm, plan: SlidePlan) -> None:
+        """Grow the shared-memory arena for the iteration's largest batch.
+
+        Sizing from :attr:`SlidePlan.max_batch_bytes` up front means the
+        backing segment is replaced at most O(log max-batch) times per
+        *run*, not per iteration — workers keep their attachments.  Purely
+        an optimisation: ``process_batch_shards`` re-ensures exact layout
+        bytes per batch anyway.
+        """
+        if not (plan.n_batches and algorithm.supports_process):
+            return
+        _, arena = self._process_runtime()
+        if arena is None:
+            return
+        g = self.graph
+        # Decoded edges are two VERTEX_DTYPE endpoint arrays per on-disk
+        # tuple, plus the frozen state snapshot and per-shard alignment.
+        n_edges = plan.max_batch_bytes // g.start_edge.tuple_bytes
+        state_bytes = ShmArena.layout_bytes(algorithm.kernel_state().values())
+        slack = 4 * DEFAULT_MAX_SHARDS * ShmArena.ALIGN
+        arena.ensure(n_edges * 8 + state_bytes + slack)
+
     def _process_batch(
         self,
         algorithm: TileAlgorithm,
@@ -667,11 +821,7 @@ class GStoreEngine:
         it: IterationStats,
     ) -> float:
         g = self.graph
-        cfg = self.config
-        edges = execute_batch(
-            algorithm, batch.views, fused=cfg.fused, workers=self.workers,
-            pool=self.pool if self.workers > 1 else None,
-        )
+        edges = self._execute_views(algorithm, batch.views)
         it.edges_processed += edges
         scr.offer(
             batch.buffers,

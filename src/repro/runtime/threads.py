@@ -15,15 +15,29 @@ operations; this module adds the thread machinery around them:
 * :class:`Prefetcher` — a bounded background pipeline: a dedicated worker
   thread prepares batches ``k+1..k+D`` (I/O + decode) while the consumer
   processes batch ``k``, delivering results strictly in submission order.
+* :class:`ProcessPool` + :class:`ShmArena` — the true-parallel execution
+  backend: a persistent pool of worker *processes* that receive decoded
+  shard payloads through POSIX shared memory (zero-copy NumPy views, no
+  pickling of edge data), compute each shard's read-only
+  :meth:`~repro.algorithms.base.TileAlgorithm.kernel_partial`, and return
+  partials the engine thread applies in shard order — escaping the GIL
+  while preserving the fused layer's bit-identical determinism contract.
 """
 
 from __future__ import annotations
 
+import importlib
+import multiprocessing
 import os
 import queue
 import threading
+import time
+import traceback
 from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence, TypeVar
+
+import numpy as np
 
 from repro.obs.trace import NULL_TRACER
 
@@ -34,6 +48,26 @@ R = TypeVar("R")
 #: ``threading.enumerate()``.
 PREFETCH_THREAD_NAME = "repro-prefetch"
 WORKER_THREAD_PREFIX = "repro-worker"
+#: Process-name prefix for :class:`ProcessPool` workers, so tests can
+#: assert clean shutdown via ``multiprocessing.active_children()``.
+PROCESS_WORKER_PREFIX = "repro-procworker"
+
+#: The execution backends the engine can run fused kernels on.
+BACKENDS = ("serial", "thread", "process")
+
+
+def available_cpus() -> int:
+    """CPUs this process may actually run on.
+
+    ``os.sched_getaffinity`` respects cgroup/affinity limits (CI
+    containers routinely advertise 64 ``cpu_count`` cores while pinning
+    the job to 2), falling back to ``os.cpu_count`` where affinity is not
+    a concept (macOS, Windows).
+    """
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):
+        return max(1, os.cpu_count() or 1)
 
 
 def default_workers() -> int:
@@ -41,24 +75,62 @@ def default_workers() -> int:
     env = os.environ.get("REPRO_WORKERS")
     if env:
         return max(1, int(env))
-    return max(1, os.cpu_count() or 1)
+    return available_cpus()
 
 
 def resolve_workers(workers: "int | str") -> int:
-    """Resolve a worker-count setting to a concrete thread count.
+    """Resolve a worker-count setting to a concrete worker count.
 
-    ``"auto"`` clamps the default to the machine's core count — on a
-    single-core box that resolves to 1, which routes execution through the
-    serial path instead of paying thread-pool overhead for no parallelism
-    (the ``fused+parallel`` regression BENCH_kernels.json showed with one
+    ``"auto"`` clamps the default to the cores this process is *allowed*
+    to run on (:func:`available_cpus`) — on a single-core box or a pinned
+    CI container that resolves to 1, which routes execution through the
+    serial path instead of paying pool overhead for no parallelism (the
+    ``fused+parallel`` regression BENCH_kernels.json showed with one
     CPU).  Integers pass through unchanged (must be >= 1).
     """
     if workers == "auto":
-        return max(1, min(default_workers(), os.cpu_count() or 1))
+        return max(1, min(default_workers(), available_cpus()))
     w = int(workers)
     if w < 1:
         raise ValueError(f"workers must be >= 1 or 'auto', got {workers!r}")
     return w
+
+
+def default_backend() -> str:
+    """The execution backend used when the config does not pick one.
+
+    ``REPRO_BACKEND`` overrides the ``"thread"`` default, which is how CI
+    runs the whole tier-1 suite under the process backend without
+    touching any test.
+    """
+    return os.environ.get("REPRO_BACKEND", "thread")
+
+
+def resolve_backend(backend: "str | None") -> str:
+    """Resolve a backend setting (``None`` means environment default)."""
+    b = default_backend() if backend in (None, "auto") else str(backend)
+    if b not in BACKENDS:
+        raise ValueError(
+            f"backend must be one of {BACKENDS} (or None for the "
+            f"REPRO_BACKEND default), got {backend!r}"
+        )
+    return b
+
+
+def execution_fingerprint(
+    workers: "int | str" = "auto", backend: "str | None" = None
+) -> "dict[str, object]":
+    """Resolved execution environment for benchmark machine blocks.
+
+    Every ``BENCH_*.json`` records this so a result can be interpreted
+    without guessing what ``"auto"`` meant on the runner that produced it.
+    """
+    return {
+        "cpus_logical": os.cpu_count(),
+        "cpus_available": available_cpus(),
+        "workers_resolved": resolve_workers(workers),
+        "backend_resolved": resolve_backend(backend),
+    }
 
 
 class WorkerPool:
@@ -126,6 +198,548 @@ class WorkerPool:
             self.shutdown()
         except Exception:
             pass
+
+
+# ---------------------------------------------------------------------- #
+# Shared-memory arena (the process backend's data plane)
+# ---------------------------------------------------------------------- #
+
+#: Names of shared-memory segments created by :class:`ShmArena` and not
+#: yet unlinked — the leak-hygiene oracle tests assert against after
+#: ``close()`` and after injected worker crashes.
+LIVE_SHM_SEGMENTS: "set[str]" = set()
+
+
+@dataclass(frozen=True)
+class ShmDescriptor:
+    """Address of one NumPy array inside a shared-memory segment.
+
+    This is the process backend's *data-placement contract*: payloads
+    cross the process boundary as ``(shm name, offset, dtype, shape)``
+    quadruples, and the worker maps them back as zero-copy array views —
+    the bytes themselves are never pickled.
+    """
+
+    shm: str
+    offset: int
+    dtype: str
+    shape: "tuple[int, ...]"
+
+    @property
+    def nbytes(self) -> int:
+        n = np.dtype(self.dtype).itemsize
+        for d in self.shape:
+            n *= d
+        return n
+
+
+class ShmArena:
+    """Bump allocator over one POSIX shared-memory segment.
+
+    The engine copies each batch's payloads (frozen vertex-state arrays
+    plus per-shard concatenated edge arrays) into the arena exactly once;
+    worker processes map them back as read-only NumPy views with zero
+    copies and zero pickling.  The arena is reused batch after batch —
+    :meth:`reserve` resets the bump pointer and grows the segment when a
+    batch needs more room (only ever between batches, when no worker
+    holds descriptors into it).
+
+    Lifecycle: one arena per engine, unlinked by ``close()``.  Segment
+    names are tracked in :data:`LIVE_SHM_SEGMENTS` so tests can assert
+    nothing leaks, even after a worker crash.
+    """
+
+    #: Allocation alignment — cache-line sized so independently-written
+    #: arrays never share a line across the process boundary.
+    ALIGN = 64
+
+    def __init__(self, capacity: int = 1 << 20, registry=None):
+        from repro.obs.counters import NULL_METRIC
+
+        self._registry = registry
+        self._null = NULL_METRIC
+        self._shm = None
+        self._offset = 0
+        self._initial = max(int(capacity), self.ALIGN)
+        self._closed = False
+
+    # -- properties ----------------------------------------------------- #
+
+    @property
+    def name(self) -> "str | None":
+        return self._shm.name if self._shm is not None else None
+
+    @property
+    def capacity(self) -> int:
+        return self._shm.size if self._shm is not None else 0
+
+    @property
+    def used(self) -> int:
+        return self._offset
+
+    # -- metrics -------------------------------------------------------- #
+
+    def _counter(self, name: str):
+        # `is not None`, not truthiness: an empty MetricsRegistry has
+        # __len__() == 0 and would silently drop the first metrics.
+        if self._registry is not None:
+            return self._registry.counter(name)
+        return self._null
+
+    def _gauge(self, name: str):
+        if self._registry is not None:
+            return self._registry.gauge(name)
+        return self._null
+
+    # -- allocation ----------------------------------------------------- #
+
+    @staticmethod
+    def layout_bytes(arrays: "Iterable[np.ndarray]") -> int:
+        """Arena bytes a sequence of :meth:`put` calls will consume."""
+        a = ShmArena.ALIGN
+        return sum((arr.nbytes + a - 1) // a * a for arr in arrays)
+
+    def ensure(self, nbytes: int) -> None:
+        """Guarantee capacity ``nbytes`` for the next :meth:`reserve`.
+
+        May replace the backing segment (new name), so callers must only
+        grow the arena *between* batches — never while worker processes
+        hold descriptors into it.  Growth doubles, so a run performs
+        O(log max-batch) segment replacements total.
+        """
+        if self._closed:
+            raise RuntimeError("shared-memory arena is closed")
+        nbytes = max(int(nbytes), self._initial)
+        if self._shm is not None and nbytes <= self._shm.size:
+            return
+        cap = max(nbytes, 2 * self.capacity)
+        self._release_segment()
+        from multiprocessing import shared_memory
+
+        seg = shared_memory.SharedMemory(create=True, size=cap)
+        LIVE_SHM_SEGMENTS.add(seg.name)
+        self._shm = seg
+        self._offset = 0
+        self._counter("shm.segments").add(1)
+        self._gauge("shm.capacity_bytes").set(seg.size)
+
+    def reserve(self, nbytes: int) -> None:
+        """Start a new batch: reset the bump pointer, growing if needed."""
+        self.ensure(nbytes)
+        self._offset = 0
+
+    def put(self, arr: np.ndarray) -> ShmDescriptor:
+        """Copy one array into the arena; returns its descriptor.
+
+        The only copy the process backend ever makes of a payload — the
+        worker side maps the descriptor as a view.  Raises if the current
+        batch overflows its :meth:`reserve` (a caller bug: the reserve
+        must cover :meth:`layout_bytes` of everything it will put).
+        """
+        arr = np.ascontiguousarray(arr)
+        if self._shm is None:
+            raise RuntimeError("ShmArena.put before reserve()")
+        start = (self._offset + self.ALIGN - 1) // self.ALIGN * self.ALIGN
+        end = start + arr.nbytes
+        if end > self._shm.size:
+            raise RuntimeError(
+                f"arena overflow: need {end} bytes, reserved {self._shm.size}"
+            )
+        view = np.ndarray(
+            arr.shape, dtype=arr.dtype, buffer=self._shm.buf, offset=start
+        )
+        view[...] = arr
+        self._offset = end
+        self._counter("shm.bytes_written").add(arr.nbytes)
+        return ShmDescriptor(
+            shm=self._shm.name,
+            offset=start,
+            dtype=arr.dtype.str,
+            shape=tuple(arr.shape),
+        )
+
+    # -- lifecycle ------------------------------------------------------ #
+
+    def _release_segment(self) -> None:
+        if self._shm is None:
+            return
+        name = self._shm.name
+        self._shm.close()
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+        LIVE_SHM_SEGMENTS.discard(name)
+        self._shm = None
+        self._offset = 0
+
+    def close(self) -> None:
+        """Unlink the backing segment (idempotent)."""
+        self._release_segment()
+        self._closed = True
+
+    def __enter__(self) -> "ShmArena":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC backstop
+        try:
+            self._release_segment()
+        except Exception:
+            pass
+
+
+def attach_view(desc: ShmDescriptor, cache: "dict[str, object]") -> np.ndarray:
+    """Map a descriptor as a read-only array view (worker side, zero-copy).
+
+    ``cache`` memoises segment attachments by name: a worker attaches to
+    the engine's arena once per segment generation, not once per shard.
+    Stale attachments (the engine grew the arena under a new name) stay
+    mapped — on POSIX an unlinked segment lives until the last close — and
+    are dropped opportunistically once no views reference them.
+    """
+    from multiprocessing import shared_memory
+
+    seg = cache.get(desc.shm)
+    if seg is None:
+        if len(cache) >= 8:
+            # Opportunistic eviction of stale generations; a segment whose
+            # buffer still has exported views refuses to close — keep it.
+            for name in list(cache):
+                if name == desc.shm:
+                    continue
+                try:
+                    cache[name].close()
+                except BufferError:
+                    continue
+                del cache[name]
+                break
+        # Note on the resource tracker: spawn children inherit the parent's
+        # tracker process, and registration is an idempotent set-add — so
+        # the attach-time re-register is harmless and the engine's unlink
+        # performs the single deregistration.  No worker-side unregister
+        # (that would race the engine's and spam KeyError tracebacks).
+        seg = shared_memory.SharedMemory(name=desc.shm)
+        cache[desc.shm] = seg
+    view = np.ndarray(
+        desc.shape,
+        dtype=np.dtype(desc.dtype),
+        buffer=seg.buf,
+        offset=desc.offset,
+    )
+    view.flags.writeable = False
+    return view
+
+
+# ---------------------------------------------------------------------- #
+# Process pool (the process backend's control plane)
+# ---------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class KernelTask:
+    """One shard's worth of work, shipped to a worker process.
+
+    Everything here is metadata: the algorithm's kernel is named by
+    ``module``/``qualname`` (resolved by import in the worker), the
+    payloads by shared-memory descriptors.  ``params`` carries the
+    iteration's frozen scalars (BFS level, |V|, symmetry flag, ...).
+    """
+
+    module: str
+    qualname: str
+    params: "dict[str, object]"
+    state: "dict[str, ShmDescriptor]"
+    gsrc: ShmDescriptor
+    gdst: ShmDescriptor
+
+
+class ProcessPoolError(RuntimeError):
+    """A worker process died or its kernel raised; the pool is broken."""
+
+
+def _resolve_kernel(module: str, qualname: str, cache: dict):
+    key = (module, qualname)
+    fn = cache.get(key)
+    if fn is None:
+        obj = importlib.import_module(module)
+        for part in qualname.split("."):
+            obj = getattr(obj, part)
+        fn = obj.kernel_partial
+        cache[key] = fn
+    return fn
+
+
+def _kernel_worker_main(task_q, result_q) -> None:
+    """Worker-process loop: map descriptors, run kernels, return partials.
+
+    Runs in a ``spawn``-ed child; results are ``(seq, ok, payload, meta)``
+    tuples where ``meta`` is ``(pid, t0, t1)`` on ``perf_counter`` — a
+    system-wide monotonic clock on Linux, so the engine can place worker
+    spans on the tracer's shared timeline.  The first message is a
+    ``("hello", pid, None, None)`` bootstrap marker.
+    """
+    pid = os.getpid()
+    result_q.put(("hello", pid, None, None))
+    seg_cache: "dict[str, object]" = {}
+    kernel_cache: dict = {}
+    while True:
+        item = task_q.get()
+        if item is None:
+            break
+        seq, task = item
+        t0 = time.perf_counter()
+        try:
+            fn = _resolve_kernel(task.module, task.qualname, kernel_cache)
+            state = {
+                k: attach_view(d, seg_cache) for k, d in task.state.items()
+            }
+            gsrc = attach_view(task.gsrc, seg_cache)
+            gdst = attach_view(task.gdst, seg_cache)
+            out = fn(state, task.params, gsrc, gdst)
+            result_q.put((seq, True, out, (pid, t0, time.perf_counter())))
+        except BaseException as exc:
+            detail = f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}"
+            result_q.put((seq, False, detail, (pid, t0, time.perf_counter())))
+    for seg in seg_cache.values():
+        try:
+            seg.close()
+        except BufferError:  # pragma: no cover - exiting anyway
+            pass
+
+
+class ProcessPool:
+    """Persistent pool of kernel worker processes (the process backend).
+
+    Workers are ``spawn``-ed lazily on first use (safe next to the
+    engine's threads, unlike ``fork``) and live for the engine's
+    lifetime, so the multi-hundred-millisecond interpreter+NumPy start-up
+    is paid once, not per batch.  Tasks go down one shared queue —
+    dynamic balancing, exactly like the thread pool — and results come
+    back tagged with submission order, so :meth:`run_tasks` returns them
+    in task order regardless of which worker finished first; the caller
+    then applies partials in shard order and determinism is preserved.
+
+    A dead worker (crash, OOM-kill) is detected by liveness polling while
+    results are outstanding and surfaces as :class:`ProcessPoolError`;
+    the pool is then *broken* — the engine degrades to the thread backend
+    and tears the pool down (no orphaned processes or segments).
+    """
+
+    #: How often the result wait re-checks worker liveness (seconds).
+    _POLL = 0.2
+
+    def __init__(self, workers: int):
+        if workers < 1:
+            raise ValueError(f"need at least one worker, got {workers}")
+        self._workers = int(workers)
+        self._ctx = multiprocessing.get_context("spawn")
+        self._procs: list = []
+        self._tasks = None
+        self._results = None
+        self._seq = 0
+        self._started = False
+        self._broken = False
+        self._closed = False
+
+    @property
+    def size(self) -> int:
+        return self._workers
+
+    @property
+    def started(self) -> bool:
+        return self._started
+
+    @property
+    def broken(self) -> bool:
+        return self._broken
+
+    @property
+    def processes(self) -> list:
+        """The live worker ``Process`` objects (tests kill these)."""
+        return list(self._procs)
+
+    def start(self, timeout: float = 60.0) -> None:
+        """Spawn the workers and wait for their bootstrap hellos.
+
+        Separated from ``__init__`` so the engine (and benchmarks) can
+        warm the pool off the timed path; ``run_tasks`` calls it lazily
+        otherwise.
+        """
+        if self._closed:
+            raise RuntimeError("process pool is shut down")
+        if self._started:
+            return
+        self._tasks = self._ctx.Queue()
+        self._results = self._ctx.Queue()
+        for i in range(self._workers):
+            p = self._ctx.Process(
+                target=_kernel_worker_main,
+                args=(self._tasks, self._results),
+                name=f"{PROCESS_WORKER_PREFIX}-{i}",
+                daemon=True,
+            )
+            p.start()
+            self._procs.append(p)
+        self._started = True
+        deadline = time.monotonic() + timeout
+        hellos = 0
+        while hellos < self._workers:
+            try:
+                msg = self._results.get(timeout=self._POLL)
+            except queue.Empty:
+                if time.monotonic() > deadline:
+                    self._broken = True
+                    raise ProcessPoolError(
+                        f"workers failed to start within {timeout}s"
+                    )
+                self._check_alive()
+                continue
+            if msg[0] == "hello":
+                hellos += 1
+
+    def _check_alive(self) -> None:
+        dead = [p for p in self._procs if not p.is_alive()]
+        if dead:
+            self._broken = True
+            names = ", ".join(
+                f"{p.name} (pid {p.pid}, exit {p.exitcode})" for p in dead
+            )
+            raise ProcessPoolError(f"worker process died: {names}")
+
+    def run_tasks(
+        self, tasks: "Sequence[KernelTask]"
+    ) -> "list[tuple[object, tuple]]":
+        """Execute tasks on the pool; returns ``(payload, meta)`` pairs in
+        task order.  Raises :class:`ProcessPoolError` if a worker dies or
+        a kernel raises (the worker's traceback is embedded)."""
+        if self._closed:
+            raise RuntimeError("process pool is shut down")
+        if self._broken:
+            raise ProcessPoolError("process pool is broken")
+        self.start()
+        n = len(tasks)
+        if n == 0:
+            return []
+        base = self._seq
+        self._seq += n
+        for i, t in enumerate(tasks):
+            self._tasks.put((base + i, t))
+        out: "list" = [None] * n
+        got = 0
+        while got < n:
+            try:
+                seq, ok, payload, meta = self._results.get(timeout=self._POLL)
+            except queue.Empty:
+                self._check_alive()
+                continue
+            if seq == "hello":  # pragma: no cover - late bootstrap marker
+                continue
+            if not ok:
+                self._broken = True
+                raise ProcessPoolError(
+                    f"kernel failed in worker pid {meta[0]}:\n{payload}"
+                )
+            out[seq - base] = (payload, meta)
+            got += 1
+        return out
+
+    def shutdown(self) -> None:
+        """Stop and join every worker (idempotent; terminates stragglers)."""
+        if self._closed:
+            return
+        self._closed = True
+        if not self._started:
+            return
+        try:
+            for _ in self._procs:
+                self._tasks.put(None)
+        except Exception:  # pragma: no cover - queue already broken
+            pass
+        for p in self._procs:
+            p.join(timeout=5.0)
+        for p in self._procs:
+            if p.is_alive():  # pragma: no cover - stuck worker
+                p.terminate()
+                p.join(timeout=5.0)
+        for q_ in (self._tasks, self._results):
+            try:
+                q_.close()
+                q_.cancel_join_thread()
+            except Exception:  # pragma: no cover
+                pass
+        self._procs = []
+
+    def __enter__(self) -> "ProcessPool":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.shutdown()
+
+    def __del__(self):  # pragma: no cover - GC backstop
+        try:
+            self.shutdown()
+        except Exception:
+            pass
+
+
+def process_batch_shards(
+    algorithm,
+    shards: "list[list]",
+    ppool: ProcessPool,
+    arena: ShmArena,
+    tracer=NULL_TRACER,
+) -> list:
+    """Run one batch's shards on worker processes; partials in shard order.
+
+    The engine-side half of the process backend's data-placement
+    contract: freeze the algorithm's kernel state and each shard's
+    concatenated edge arrays into the arena (one copy), ship descriptors,
+    and collect partials.  The shard structure comes from the same
+    :meth:`batch_shards` the thread backend uses and partials are applied
+    in the same shard order, so results are bit-identical across
+    ``serial``/``thread``/``process`` at any worker count.
+    """
+    from repro.format.tiles import concat_global_edges
+
+    cls = type(algorithm)
+    params = algorithm.kernel_params()
+    state = algorithm.kernel_state()
+    edge_pairs = [concat_global_edges(shard) for shard in shards]
+    arrays = list(state.values())
+    for gs, gd in edge_pairs:
+        arrays.append(gs)
+        arrays.append(gd)
+    arena.reserve(ShmArena.layout_bytes(arrays))
+    state_desc = {k: arena.put(v) for k, v in state.items()}
+    tasks = [
+        KernelTask(
+            module=cls.__module__,
+            qualname=cls.__qualname__,
+            params=params,
+            state=state_desc,
+            gsrc=arena.put(gs),
+            gdst=arena.put(gd),
+        )
+        for gs, gd in edge_pairs
+    ]
+    with tracer.span("process.dispatch", cat="process", shards=len(tasks)):
+        results = ppool.run_tasks(tasks)
+    if tracer.enabled:
+        reg = tracer.registry
+        reg.counter("process.shards").add(len(results))
+        for i, (_, (pid, t0, t1)) in enumerate(results):
+            reg.counter("process.kernel_seconds").add(t1 - t0)
+            # perf_counter is system-wide monotonic on Linux, so worker
+            # timestamps land correctly on the engine tracer's epoch —
+            # each worker process gets its own track in the trace view.
+            tracer.remote_span(
+                "kernel", track=f"repro-proc-{pid}", t0=t0, t1=t1,
+                cat="process", shard=i,
+            )
+    return [payload for payload, _ in results]
 
 
 class Prefetcher:
@@ -267,7 +881,14 @@ def row_run_shards(views: "Sequence[T]") -> "list[list[T]]":
     return shards
 
 
-def chunk_by_edges(views: "Sequence[T]", max_shards: int = 8) -> "list[list[T]]":
+#: Default shard ceiling for :func:`chunk_by_edges` — also the bound the
+#: engine uses when pre-sizing the shared-memory arena's alignment slack.
+DEFAULT_MAX_SHARDS = 8
+
+
+def chunk_by_edges(
+    views: "Sequence[T]", max_shards: int = DEFAULT_MAX_SHARDS
+) -> "list[list[T]]":
     """Split a batch into at most ``max_shards`` contiguous, edge-balanced
     chunks.
 
@@ -304,6 +925,9 @@ def execute_batch(
     fused: bool = True,
     workers: int = 1,
     pool: "WorkerPool | None" = None,
+    ppool: "ProcessPool | None" = None,
+    arena: "ShmArena | None" = None,
+    tracer=NULL_TRACER,
 ) -> int:
     """Run one batch of tile views through an algorithm.
 
@@ -311,12 +935,15 @@ def execute_batch(
     through :meth:`TileAlgorithm.process_batch`.  With ``workers > 1`` and
     a fused-capable algorithm, the read-only partial phase is sharded by
     the algorithm's :meth:`batch_shards` and distributed over a dynamic
-    thread pool (``pool`` when given, else a transient one), then the
-    partials are committed serially in shard order.  Because the shard
-    structure is worker-independent and the serial :meth:`process_batch`
-    walks the *same* shards, results are bit-identical at any worker count
-    — a deterministic merge with OpenMP ``schedule(dynamic)`` balance
-    (§VI-B).
+    thread pool (``pool`` when given, else a transient one) — or, when
+    ``ppool``/``arena`` are given and the algorithm supports the process
+    kernel contract, over worker *processes* via shared memory (true
+    multicore parallelism, no GIL).  Partials are committed serially in
+    shard order either way.  Because the shard structure is
+    worker-independent and the serial :meth:`process_batch` walks the
+    *same* shards, results are bit-identical at any worker count and on
+    every backend — a deterministic merge with OpenMP
+    ``schedule(dynamic)`` balance (§VI-B).
     """
     if not views:
         return 0
@@ -328,8 +955,18 @@ def execute_batch(
     if workers > 1 and algorithm.supports_fused and len(views) > 1:
         shards = algorithm.batch_shards(views)
         if len(shards) > 1:
-            partials = dynamic_row_map(
-                algorithm.batch_partial, shards, workers=workers, pool=pool
-            )
+            if (
+                ppool is not None
+                and arena is not None
+                and algorithm.supports_process
+            ):
+                partials = process_batch_shards(
+                    algorithm, shards, ppool, arena, tracer=tracer
+                )
+            else:
+                partials = dynamic_row_map(
+                    algorithm.batch_partial, shards, workers=workers,
+                    pool=pool,
+                )
             return sum(algorithm.apply_partial(p) for p in partials)
     return algorithm.process_batch(views)

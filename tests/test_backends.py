@@ -1,0 +1,207 @@
+"""Backend equivalence: serial / thread / process produce identical runs.
+
+The process backend's whole contract is that moving the fused partial
+phase into worker processes changes *nothing observable* except wall
+time: result arrays are sha256-identical, the simulated timeline and SCR
+cache stats match field for field, and no shared-memory segment or
+worker process outlives the engine — even when a worker is SIGKILLed
+mid-run (the engine degrades to the thread backend and recomputes).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from repro.algorithms.bfs import BFS
+from repro.algorithms.cc import ConnectedComponents
+from repro.algorithms.kcore import KCore
+from repro.algorithms.pagerank import PageRank
+from repro.algorithms.spmv import SpMV
+from repro.engine.config import EngineConfig
+from repro.engine.gstore import GStoreEngine
+from repro.errors import StorageError
+from repro.format.tiles import TiledGraph
+from repro.graphgen.rmat import rmat
+from repro.runtime.threads import LIVE_SHM_SEGMENTS
+
+ALGOS = {
+    "bfs": lambda: BFS(root=0),
+    "pagerank": lambda: PageRank(max_iterations=15, tolerance=1e-10),
+    "spmv": lambda: SpMV(iterations=3),
+    "cc": lambda: ConnectedComponents(),
+    "kcore": lambda: KCore(k=4),
+}
+
+#: (backend, workers) grid: thread gets 3 workers and process 2 so the
+#: two parallel backends also cross-check at *different* worker counts —
+#: the shard structure (and so the result) must not care.
+BACKENDS = [("serial", 1), ("thread", 3), ("process", 2)]
+
+DEPTHS = [0, 2]
+
+
+@pytest.fixture(scope="module")
+def graph() -> TiledGraph:
+    el = rmat(9, edge_factor=8, seed=77)
+    return TiledGraph.from_edge_list(el, tile_bits=6, group_q=4)
+
+
+def _run(tg, factory, backend, workers, depth=2, trace=False):
+    # Tiny budget: several slide batches per iteration plus cache
+    # pressure, so rewind, evictions, and multi-batch dispatch all run.
+    cfg = EngineConfig(
+        memory_bytes=24 * 1024,
+        segment_bytes=4 * 1024,
+        backend=backend,
+        workers=workers,
+        prefetch_depth=depth,
+        trace=trace,
+    )
+    with GStoreEngine(tg, cfg) as engine:
+        algo = factory()
+        stats = engine.run(algo)
+        live = engine.backend_resolved
+    return algo.result().copy(), stats, live
+
+
+def _sha(arr: np.ndarray) -> str:
+    return hashlib.sha256(np.ascontiguousarray(arr).tobytes()).hexdigest()
+
+
+@pytest.mark.parametrize("name", sorted(ALGOS))
+def test_backend_equivalence(graph, name):
+    """Results and the full observable run are identical on every backend
+    at every prefetch depth — sha256 on the result bytes, so 'identical'
+    means bit-identical, not approximately equal."""
+    factory = ALGOS[name]
+    ref_result, ref_stats, _ = _run(graph, factory, "serial", 1, depth=0)
+    ref_hash = _sha(ref_result)
+    for backend, workers in BACKENDS:
+        for depth in DEPTHS:
+            result, stats, live = _run(
+                graph, factory, backend, workers, depth=depth
+            )
+            assert live == backend, (name, backend, depth)
+            assert _sha(result) == ref_hash, (name, backend, depth)
+            assert stats.edges_processed == ref_stats.edges_processed
+            assert len(stats.iterations) == len(ref_stats.iterations)
+            assert stats.sim_elapsed == pytest.approx(ref_stats.sim_elapsed)
+            assert stats.io_time == pytest.approx(ref_stats.io_time)
+            assert stats.bytes_read == ref_stats.bytes_read
+            assert stats.tiles_fetched == ref_stats.tiles_fetched
+            assert stats.extra["scr"] == ref_stats.extra["scr"]
+            ex = stats.extra["execution"]
+            assert ex["backend"] == backend
+            assert ex["backend_resolved"] == backend
+    assert not LIVE_SHM_SEGMENTS
+
+
+def test_process_backend_records_counters(graph):
+    """A traced process run exposes the backend gauge, shm traffic, and
+    per-worker kernel spans."""
+    _, stats, live = _run(
+        graph, ALGOS["pagerank"], "process", 2, trace=True
+    )
+    assert live == "process"
+    counters = stats.extra["counters"]
+    assert counters["engine.backend"] == 2  # BACKEND_CODES["process"]
+    assert counters["process.shards"] > 0
+    assert counters["shm.bytes_written"] > 0
+    assert counters["shm.segments"] >= 1
+    assert counters["process.kernel_seconds"] > 0
+    assert not LIVE_SHM_SEGMENTS
+
+
+def test_serial_backend_ignores_workers(graph):
+    """backend='serial' is the debugging walk: workers>1 notwithstanding,
+    kernels run on the engine thread with no pools."""
+    cfg = EngineConfig(
+        memory_bytes=24 * 1024, segment_bytes=4 * 1024,
+        backend="serial", workers=4,
+    )
+    with GStoreEngine(graph, cfg) as engine:
+        assert engine.kernel_workers == 1
+        algo = ALGOS["bfs"]()
+        engine.run(algo)
+        assert engine._ppool is None
+
+
+def test_env_default_backend(graph, monkeypatch):
+    """backend=None resolves through REPRO_BACKEND — how CI runs the
+    whole suite under the process backend without touching any test."""
+    monkeypatch.setenv("REPRO_BACKEND", "serial")
+    cfg = EngineConfig(memory_bytes=24 * 1024, segment_bytes=4 * 1024)
+    with GStoreEngine(graph, cfg) as engine:
+        assert engine.backend == "serial"
+    monkeypatch.setenv("REPRO_BACKEND", "nonsense")
+    with pytest.raises(ValueError):
+        GStoreEngine(graph, cfg)
+
+
+def test_config_rejects_unknown_backend():
+    with pytest.raises(StorageError):
+        EngineConfig(backend="gpu")
+
+
+def test_fallback_when_shared_memory_unavailable(graph, monkeypatch):
+    """No /dev/shm (or a sandboxed container): the engine degrades to the
+    thread backend at pool creation and the run still matches serial."""
+
+    def no_shm(*a, **k):
+        raise OSError("shared memory unavailable")
+
+    monkeypatch.setattr(
+        "multiprocessing.shared_memory.SharedMemory", no_shm
+    )
+    ref_result, _, _ = _run(graph, ALGOS["bfs"], "serial", 1)
+    result, stats, live = _run(graph, ALGOS["bfs"], "process", 2)
+    assert live == "thread"
+    assert np.array_equal(result, ref_result)
+    ex = stats.extra["execution"]
+    assert ex["backend"] == "process"
+    assert ex["backend_resolved"] == "thread"
+    assert not LIVE_SHM_SEGMENTS
+
+
+def test_worker_crash_degrades_and_stays_correct(graph):
+    """SIGKILL every worker process mid-engine: the next batch raises
+    inside the pool, the engine recomputes it on threads, and the final
+    result is still bit-identical — with nothing leaked."""
+    ref_result, _, _ = _run(graph, ALGOS["pagerank"], "serial", 1)
+    cfg = EngineConfig(
+        memory_bytes=24 * 1024, segment_bytes=4 * 1024,
+        backend="process", workers=2,
+    )
+    with GStoreEngine(graph, cfg) as engine:
+        assert engine.warm_backend() == "process"
+        for proc in engine._ppool.processes:
+            os.kill(proc.pid, signal.SIGKILL)
+        algo = ALGOS["pagerank"]()
+        stats = engine.run(algo)
+        assert engine.backend_resolved == "thread"
+        assert engine._ppool is None  # torn down by the fallback
+        assert stats.extra["execution"]["backend_resolved"] == "thread"
+        assert np.array_equal(algo.result(), ref_result)
+    assert not LIVE_SHM_SEGMENTS
+
+
+def test_close_tears_down_process_runtime(graph):
+    cfg = EngineConfig(
+        memory_bytes=24 * 1024, segment_bytes=4 * 1024,
+        backend="process", workers=2,
+    )
+    engine = GStoreEngine(graph, cfg)
+    assert engine.warm_backend() == "process"
+    procs = engine._ppool.processes
+    assert procs and all(p.is_alive() for p in procs)
+    assert LIVE_SHM_SEGMENTS  # arena is live while the engine is
+    engine.close()
+    assert engine._ppool is None and engine._arena is None
+    assert not any(p.is_alive() for p in procs)
+    assert not LIVE_SHM_SEGMENTS
+    engine.close()  # idempotent

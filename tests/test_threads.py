@@ -1,19 +1,36 @@
 """Unit tests for the dynamic row scheduler, the persistent worker pool,
-and the bounded prefetcher."""
+the bounded prefetcher, and the process backend's shared-memory plane."""
 
 import os
+import signal
 import threading
 import time
 
+import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.runtime.threads import (
+    DEFAULT_MAX_SHARDS,
+    LIVE_SHM_SEGMENTS,
     PREFETCH_THREAD_NAME,
+    KernelTask,
     Prefetcher,
+    ProcessPool,
+    ProcessPoolError,
+    ShmArena,
     WorkerPool,
+    attach_view,
+    available_cpus,
+    chunk_by_edges,
+    default_backend,
     default_workers,
     dynamic_row_map,
+    execution_fingerprint,
+    resolve_backend,
     resolve_workers,
+    row_run_shards,
 )
 
 
@@ -181,3 +198,301 @@ class TestPrefetcher:
     def test_depth_validation(self):
         with pytest.raises(ValueError):
             Prefetcher([], depth=0)
+
+
+# ---------------------------------------------------------------------- #
+# Backend resolution and the execution fingerprint
+# ---------------------------------------------------------------------- #
+
+
+class TestBackendResolution:
+    def test_explicit_passthrough(self):
+        for b in ("serial", "thread", "process"):
+            assert resolve_backend(b) == b
+
+    def test_none_uses_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "process")
+        assert default_backend() == "process"
+        assert resolve_backend(None) == "process"
+        assert resolve_backend("auto") == "process"
+
+    def test_default_is_thread(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        assert resolve_backend(None) == "thread"
+
+    def test_rejects_bad_values(self, monkeypatch):
+        with pytest.raises(ValueError):
+            resolve_backend("gpu")
+        monkeypatch.setenv("REPRO_BACKEND", "quantum")
+        with pytest.raises(ValueError):
+            resolve_backend(None)
+
+    def test_available_cpus_positive(self):
+        cpus = available_cpus()
+        assert 1 <= cpus <= (os.cpu_count() or 1)
+
+    def test_fingerprint_fields(self):
+        fp = execution_fingerprint(workers=2, backend="process")
+        assert fp["workers_resolved"] == 2
+        assert fp["backend_resolved"] == "process"
+        assert fp["cpus_available"] == available_cpus()
+        assert fp["cpus_logical"] == (os.cpu_count() or 1)
+
+
+# ---------------------------------------------------------------------- #
+# Shard-structure invariants (property-based)
+# ---------------------------------------------------------------------- #
+
+
+class _FakeView:
+    """Minimal stand-in for TileView: a row index and an edge count."""
+
+    __slots__ = ("i", "lsrc")
+
+    def __init__(self, i: int, n_edges: int):
+        self.i = i
+        self.lsrc = np.empty(n_edges, dtype=np.uint16)
+
+
+@st.composite
+def view_batches(draw):
+    spec = draw(
+        st.lists(
+            st.tuples(st.integers(0, 6), st.integers(0, 500)),
+            min_size=0,
+            max_size=40,
+        )
+    )
+    return [_FakeView(i, n) for i, n in spec]
+
+
+class TestShardInvariants:
+    """The properties the parallel backends' determinism rests on: shards
+    concatenate back to the original batch order, respect the shard
+    ceiling, and are edge-balanced — independent of any worker count."""
+
+    @given(views=view_batches(), max_shards=st.integers(1, 16))
+    @settings(max_examples=100, deadline=None)
+    def test_chunk_by_edges(self, views, max_shards):
+        shards = chunk_by_edges(views, max_shards=max_shards)
+        # Concatenation preserves the exact object sequence.
+        flat = [tv for shard in shards for tv in shard]
+        assert flat == views
+        assert all(shard for shard in shards)
+        assert len(shards) <= max(1, max_shards)
+        if len(views) > 1 and max_shards > 1:
+            total = sum(tv.lsrc.shape[0] for tv in views)
+            target = max(1, -(-total // max_shards))
+            # Every shard closed early reached the balance target.
+            for shard in shards[:-1]:
+                assert sum(tv.lsrc.shape[0] for tv in shard) >= target
+
+    @given(views=view_batches())
+    @settings(max_examples=100, deadline=None)
+    def test_row_run_shards(self, views):
+        shards = row_run_shards(views)
+        flat = [tv for shard in shards for tv in shard]
+        assert flat == views
+        for shard in shards:
+            assert shard
+            assert len({tv.i for tv in shard}) == 1  # one row per run
+        for a, b in zip(shards, shards[1:]):
+            assert a[0].i != b[0].i  # maximal runs
+
+    @given(views=view_batches(), max_shards=st.integers(1, 16))
+    @settings(max_examples=50, deadline=None)
+    def test_chunking_is_worker_independent(self, views, max_shards):
+        """Identical inputs give identical structure — the split never
+        consults the environment, so any worker count sees the same
+        shards (and hence the same partial-application order)."""
+        a = chunk_by_edges(views, max_shards=max_shards)
+        b = chunk_by_edges(list(views), max_shards=max_shards)
+        assert [[id(v) for v in s] for s in a] == [
+            [id(v) for v in s] for s in b
+        ]
+
+    def test_default_ceiling(self):
+        views = [_FakeView(0, 10) for _ in range(100)]
+        assert len(chunk_by_edges(views)) <= DEFAULT_MAX_SHARDS
+
+
+# ---------------------------------------------------------------------- #
+# Shared-memory arena
+# ---------------------------------------------------------------------- #
+
+
+class TestShmArena:
+    def test_put_attach_roundtrip(self):
+        rng = np.random.default_rng(3)
+        arrays = [
+            rng.integers(0, 2**32, 1000).astype(np.uint32),
+            rng.standard_normal(501),
+            np.array([True, False, True]),
+        ]
+        with ShmArena() as arena:
+            arena.reserve(ShmArena.layout_bytes(arrays))
+            descs = [arena.put(a) for a in arrays]
+            cache: dict = {}
+            for arr, desc in zip(arrays, descs):
+                assert desc.offset % ShmArena.ALIGN == 0
+                assert desc.nbytes == arr.nbytes
+                view = attach_view(desc, cache)
+                np.testing.assert_array_equal(view, arr)
+                assert not view.flags.writeable
+            # Same-process attach maps the same physical bytes.
+            assert len(cache) == 1
+            del view
+            for seg in cache.values():
+                seg.close()
+
+    def test_overflow_raises(self):
+        with ShmArena() as arena:
+            arena.reserve(64)
+            big = np.zeros(arena.capacity + 1, dtype=np.uint8)
+            with pytest.raises(RuntimeError, match="overflow"):
+                arena.put(big)
+
+    def test_reserve_resets_between_batches(self):
+        with ShmArena() as arena:
+            arena.reserve(4096)
+            d1 = arena.put(np.arange(16))
+            arena.reserve(4096)  # next batch: bump pointer rewinds
+            d2 = arena.put(np.arange(16))
+            assert d1.offset == d2.offset
+
+    def test_growth_replaces_segment_and_leaks_nothing(self):
+        arena = ShmArena(capacity=1024)
+        try:
+            arena.reserve(512)
+            first = arena.name
+            assert first in LIVE_SHM_SEGMENTS
+            arena.reserve(arena.capacity * 4)
+            second = arena.name
+            assert second != first
+            assert first not in LIVE_SHM_SEGMENTS  # old gen unlinked
+            assert second in LIVE_SHM_SEGMENTS
+        finally:
+            arena.close()
+        assert second not in LIVE_SHM_SEGMENTS
+
+    def test_close_idempotent_and_final(self):
+        arena = ShmArena()
+        arena.reserve(128)
+        name = arena.name
+        arena.close()
+        arena.close()
+        assert name not in LIVE_SHM_SEGMENTS
+        with pytest.raises(RuntimeError):
+            arena.ensure(128)
+
+    def test_put_before_reserve_raises(self):
+        with ShmArena() as arena:
+            with pytest.raises(RuntimeError, match="reserve"):
+                arena.put(np.arange(4))
+
+
+# ---------------------------------------------------------------------- #
+# Process pool (spawn-heavy: kept to a few tests, small worker counts)
+# ---------------------------------------------------------------------- #
+
+
+def _bfs_tasks(arena: ShmArena, shard_sizes) -> "tuple[list, list]":
+    """KernelTasks running the real BFS kernel, plus expected partials."""
+    from repro.algorithms.bfs import BFS
+    from repro.types import INF_DEPTH
+
+    rng = np.random.default_rng(11)
+    n = 64
+    depth = np.full(n, INF_DEPTH, dtype=np.uint32)
+    depth[:8] = 0
+    params = {"level": 0, "symmetric": False}
+    shards = [
+        (
+            rng.integers(0, n, size).astype(np.uint32),
+            rng.integers(0, n, size).astype(np.uint32),
+        )
+        for size in shard_sizes
+    ]
+    arrays = [depth] + [a for pair in shards for a in pair]
+    arena.reserve(ShmArena.layout_bytes(arrays))
+    state_desc = {"depth": arena.put(depth)}
+    tasks = [
+        KernelTask(
+            module="repro.algorithms.bfs",
+            qualname="BFS",
+            params=params,
+            state=state_desc,
+            gsrc=arena.put(gs),
+            gdst=arena.put(gd),
+        )
+        for gs, gd in shards
+    ]
+    expected = [
+        BFS.kernel_partial({"depth": depth}, params, gs, gd)
+        for gs, gd in shards
+    ]
+    return tasks, expected
+
+
+class TestProcessPool:
+    def test_runs_kernels_in_task_order(self):
+        with ShmArena() as arena, ProcessPool(workers=2) as pool:
+            tasks, expected = _bfs_tasks(arena, [200, 17, 333, 1])
+            results = pool.run_tasks(tasks)
+            assert len(results) == len(tasks)
+            for (got, meta), want in zip(results, expected):
+                np.testing.assert_array_equal(got[0], want[0])
+                assert got[1] is None and want[1] is None
+                assert got[2] == want[2]
+                pid, t0, t1 = meta
+                assert t1 >= t0
+            # Reuse: a second round on the same (warm) pool.
+            tasks2, expected2 = _bfs_tasks(arena, [50, 50])
+            for (got, _), want in zip(pool.run_tasks(tasks2), expected2):
+                np.testing.assert_array_equal(got[0], want[0])
+        assert not LIVE_SHM_SEGMENTS
+
+    def test_kernel_error_embeds_traceback(self):
+        with ShmArena() as arena, ProcessPool(workers=1) as pool:
+            tasks, _ = _bfs_tasks(arena, [10])
+            bad = KernelTask(
+                module="repro.algorithms.bfs",
+                qualname="NoSuchAlgorithm",
+                params={},
+                state={},
+                gsrc=tasks[0].gsrc,
+                gdst=tasks[0].gdst,
+            )
+            with pytest.raises(ProcessPoolError, match="AttributeError"):
+                pool.run_tasks([bad])
+            assert pool.broken
+        assert not LIVE_SHM_SEGMENTS
+
+    def test_worker_crash_detected_and_nothing_leaks(self):
+        """SIGKILLing a worker mid-wait surfaces ProcessPoolError, and
+        shutdown + arena close leave no process and no shm segment."""
+        arena = ShmArena()
+        pool = ProcessPool(workers=1)
+        try:
+            pool.start()
+            tasks, _ = _bfs_tasks(arena, [10])
+            os.kill(pool.processes[0].pid, signal.SIGKILL)
+            with pytest.raises(ProcessPoolError, match="died"):
+                pool.run_tasks(tasks)
+            assert pool.broken
+        finally:
+            pool.shutdown()
+            arena.close()
+        assert not any(p.is_alive() for p in pool.processes)
+        assert not LIVE_SHM_SEGMENTS
+
+    def test_shutdown_idempotent(self):
+        pool = ProcessPool(workers=1)
+        pool.shutdown()  # never started
+        pool.shutdown()
+        with pytest.raises(RuntimeError):
+            pool.run_tasks([])
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            ProcessPool(workers=0)
