@@ -21,10 +21,17 @@ at the repo root: serial vs overlapped wall seconds, speedups, and the
 wall io-stall fraction (the Figure-15 I/O-bound quantity on the real
 clock).
 
+With ``--selective`` the benchmark additionally compares frontier-driven
+selective execution (§V-B) against the dense fetch-everything ablation on
+BFS: both runs must be bit-identical, the per-iteration moved/skipped
+byte series lands in the JSON, and ``--min-bytes-saved`` gates the total
+fraction of dense demand the selective plan skipped.
+
 Usage::
 
     python benchmarks/bench_pipeline_overlap.py             # full run
     python benchmarks/bench_pipeline_overlap.py --scale 12  # CI smoke run
+    python benchmarks/bench_pipeline_overlap.py --selective --min-bytes-saved 0.3
 """
 
 from __future__ import annotations
@@ -61,7 +68,7 @@ MODES = [
 ]
 
 
-def run_once(tg, factory, depth, realize, args):
+def run_once(tg, factory, depth, realize, args, selective=True):
     cfg = EngineConfig(
         memory_bytes=args.memory_kb * 1024,
         segment_bytes=args.segment_kb * 1024,
@@ -69,6 +76,7 @@ def run_once(tg, factory, depth, realize, args):
         realize_io=realize,
         device_profile=DeviceProfile(read_bandwidth=args.bandwidth),
         workers="auto",
+        selective=selective,
     )
     with GStoreEngine(tg, cfg) as engine:
         algo = factory()
@@ -89,6 +97,68 @@ def run_depth(tg, factory, depth, realize, args):
     return best, result, stats
 
 
+def run_selective(el, args):
+    """Dense vs frontier-driven BFS at the selective tile granularity.
+
+    Returns the JSON section: graph parameters, per-iteration series of
+    moved vs skipped bytes for the selective run, totals for both modes,
+    and the fraction of the dense demand the selective plan never read.
+    Tiles are rebuilt at ``--selective-tile-bits`` (finer rows than the
+    overlap runs) because row-granular frontiers need enough rows to
+    collapse onto — the granularity is recorded in the output.
+    """
+    tg = TiledGraph.from_edge_list(
+        el, tile_bits=args.selective_tile_bits, group_q=16
+    )
+    print(f"selective comparison: {tg!r}")
+    section = {
+        "graph": {
+            "scale": args.scale,
+            "tile_bits": args.selective_tile_bits,
+            "n_tiles": tg.n_tiles,
+            "payload_bytes": tg.storage_bytes(),
+        },
+        "algos": {},
+    }
+    depth = max(args.depths)
+    for name in ("bfs",):
+        factory = ALGOS[name]
+        _, dense_result, dense_stats = run_once(
+            tg, factory, depth, False, args, selective=False
+        )
+        _, sel_result, sel_stats = run_once(
+            tg, factory, depth, False, args, selective=True
+        )
+        assert np.array_equal(dense_result, sel_result), (
+            f"selective {name} diverged from dense"
+        )
+        dense_moved = dense_stats.bytes_read + dense_stats.bytes_from_cache
+        sel_moved = sel_stats.bytes_read + sel_stats.bytes_from_cache
+        fraction = sel_stats.bytes_skipped_fraction()
+        section["algos"][name] = {
+            "iterations": [
+                {
+                    "iteration": it.iteration,
+                    "bytes_read": it.bytes_read,
+                    "bytes_from_cache": it.bytes_from_cache,
+                    "bytes_skipped": it.bytes_skipped,
+                    "tiles_skipped": it.tiles_skipped,
+                }
+                for it in sel_stats.iterations
+            ],
+            "dense_bytes_moved": dense_moved,
+            "selective_bytes_moved": sel_moved,
+            "bytes_skipped": sel_stats.bytes_skipped,
+            "tiles_skipped": sel_stats.tiles_skipped,
+            "bytes_saved_fraction": fraction,
+            "identical_to_dense": True,
+        }
+        print(f"  [selective] {name:9s}: dense {dense_moved} B -> "
+              f"selective {sel_moved} B moved, "
+              f"{fraction:6.1%} of demand skipped")
+    return section
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--scale", type=int, default=18, help="log2 of |V| (default 18)")
@@ -107,6 +177,19 @@ def main(argv=None) -> int:
                     help="modeled device read bandwidth, bytes/s")
     ap.add_argument("--algos", nargs="*", default=sorted(ALGOS),
                     choices=sorted(ALGOS))
+    ap.add_argument("--selective", action="store_true",
+                    help="also compare frontier-driven selective BFS "
+                         "against the dense ablation and record the "
+                         "per-iteration bytes-skipped series")
+    ap.add_argument("--selective-tile-bits", type=int, default=9,
+                    help="tile granularity for the selective comparison "
+                         "(finer rows than the overlap runs so frontiers "
+                         "can collapse below row granularity)")
+    ap.add_argument("--min-bytes-saved", type=float, default=None,
+                    metavar="FRACTION",
+                    help="with --selective, fail unless selective BFS "
+                         "skips at least this fraction of the dense "
+                         "byte demand (e.g. 0.3)")
     ap.add_argument("--out", default=os.path.join(ROOT, "BENCH_pipeline.json"))
     ap.add_argument("--trace", default=None, metavar="TRACE_JSON",
                     help="after the timed runs, redo one device-paced "
@@ -200,6 +283,8 @@ def main(argv=None) -> int:
         },
         "results": results,
     }
+    if args.selective:
+        payload["selective"] = run_selective(el, args)
     with open(args.out, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=2)
         fh.write("\n")
@@ -240,6 +325,13 @@ def main(argv=None) -> int:
         status = "ok" if best > 1.0 else "NO IMPROVEMENT"
         print(f"  overlap gate {name}: best speedup {best:.2f}x [{status}]")
         ok = ok and best > 1.0
+    if args.selective and args.min_bytes_saved is not None:
+        frac = payload["selective"]["algos"]["bfs"]["bytes_saved_fraction"]
+        passed = frac >= args.min_bytes_saved
+        status = "ok" if passed else "BELOW THRESHOLD"
+        print(f"  selective gate bfs: {frac:.1%} skipped "
+              f"(need >= {args.min_bytes_saved:.0%}) [{status}]")
+        ok = ok and passed
     return 0 if ok else 1
 
 

@@ -22,12 +22,25 @@ from repro.types import INF_DEPTH
 class BFS(TileAlgorithm):
     """Level-synchronous BFS from a root vertex.
 
-    ``direction_optimizing=True`` enables Beamer-style selection (§II-B:
-    "BFS can be optimized for the explosion level"): a tile can only
-    produce new vertices when a *frontier* range meets an *unvisited*
-    range, an AND-predicate that is strictly tighter than the default
-    frontier-row OR — during the explosion iteration most tiles fail the
-    unvisited side and are skipped entirely.
+    ``direction_optimizing=True`` enables Beamer-style direction switching
+    (§II-B: "BFS can be optimized for the explosion level"), adapted to
+    vectorised tile execution:
+
+    * **Tile selection** always uses the AND-predicate — a tile can only
+      produce new vertices when a *frontier* range meets an *unvisited*
+      range, strictly tighter than the default frontier-row OR.  During
+      the explosion iteration most tiles fail the unvisited side and are
+      skipped entirely; tile skipping is maximal in both directions.
+    * **Kernel direction** switches per iteration: sparse-frontier
+      iterations *push* (filter each edge by its frontier side first, so
+      the second depth gather touches only frontier edges), while
+      dense-frontier iterations — frontier larger than the remaining
+      unvisited set — *pull* (filter by the shrinking unvisited side
+      first).  Both orders evaluate the same per-edge AND predicate, so
+      results stay bit-identical; only the gather volume changes.
+
+    The chosen direction per iteration is recorded in
+    :attr:`direction_history`.
     """
 
     name = "bfs"
@@ -45,6 +58,13 @@ class BFS(TileAlgorithm):
         #: this iteration; their union is the new frontier, counted in
         #: ``end_iteration`` without an O(|V|) scan.
         self._new_targets: "list[np.ndarray]" = []
+        #: Vertices discovered so far (root included) — drives the
+        #: push/pull switch without an O(|V|) scan per iteration.
+        self._visited_total = 0
+        #: Kernel direction chosen for each iteration ("push"/"pull"),
+        #: empty unless ``direction_optimizing``.
+        self.direction_history: "list[str]" = []
+        self._pull = False
 
     def _setup(self) -> None:
         g = self._graph()
@@ -58,12 +78,22 @@ class BFS(TileAlgorithm):
         self.traversed_edges = 0
         self._frontier_count = 1
         self._new_targets = []
+        self._visited_total = 1
+        self.direction_history = []
+        self._pull = False
 
     # ------------------------------------------------------------------ #
 
     def begin_iteration(self, iteration: int) -> None:
         super().begin_iteration(iteration)
         self._new_targets = []
+        if self.direction_optimizing:
+            # Beamer-style switch on algorithm state only (never timing):
+            # pull once the frontier outnumbers the remaining unvisited
+            # vertices — the explosion level and everything after it.
+            unvisited = self._graph().n_vertices - self._visited_total
+            self._pull = self._frontier_count > unvisited
+            self.direction_history.append("pull" if self._pull else "push")
 
     def process_tile(self, tv: TileView) -> int:
         return self.apply_partial(self.batch_partial([tv]))
@@ -80,6 +110,7 @@ class BFS(TileAlgorithm):
         self._new_targets = []
         self.level += 1
         self._frontier_count = new_frontier
+        self._visited_total += new_frontier
         return new_frontier > 0
 
     # ------------------------------------------------------------------ #
@@ -93,7 +124,15 @@ class BFS(TileAlgorithm):
         return {"depth": self.depth}
 
     def kernel_params(self):
-        return {"level": self.level, "symmetric": self.symmetric}
+        return {
+            "level": self.level,
+            "symmetric": self.symmetric,
+            "mode": (
+                ("pull" if self._pull else "push")
+                if self.direction_optimizing
+                else None
+            ),
+        }
 
     @staticmethod
     def kernel_partial(state, params, gsrc, gdst):
@@ -104,20 +143,50 @@ class BFS(TileAlgorithm):
         tile reports it, so per-tile, fused, and sharded execution converge
         on bit-identical depth arrays — on any backend (the fancy-indexed
         targets are fresh arrays, never views into shared memory).
+
+        ``mode`` picks the evaluation order of the same per-edge AND
+        predicate (``frontier-side == level`` ∧ ``target-side`` unvisited):
+        ``"push"`` filters by the frontier side first, ``"pull"`` by the
+        unvisited side, ``None`` (direction optimisation off) evaluates
+        both sides densely.  All three produce identical targets in
+        identical order — only the size of the second gather differs.
         """
         depth = state["depth"]
         level = np.uint32(params["level"])
-        src_d = depth[gsrc]
-        dst_d = depth[gdst]
-        fwd = (src_d == level) & (dst_d == INF_DEPTH)
-        fwd_targets = gdst[fwd]
-        bwd_targets = None
-        if params["symmetric"]:
-            # Algorithm 1 lines 8-10: the stored upper triangle also carries
-            # the mirrored edge, so expand the frontier backwards too.
-            bwd = (dst_d == level) & (src_d == INF_DEPTH)
-            bwd_targets = gsrc[bwd]
+        symmetric = params["symmetric"]
+        mode = params.get("mode")
         edges = int(gsrc.shape[0])
+        bwd_targets = None
+        if mode is None:
+            src_d = depth[gsrc]
+            dst_d = depth[gdst]
+            fwd = (src_d == level) & (dst_d == INF_DEPTH)
+            fwd_targets = gdst[fwd]
+            if symmetric:
+                # Algorithm 1 lines 8-10: the stored upper triangle also
+                # carries the mirrored edge, so expand the frontier
+                # backwards too.
+                bwd = (dst_d == level) & (src_d == INF_DEPTH)
+                bwd_targets = gsrc[bwd]
+        elif mode == "pull":
+            # Dense frontier: the unvisited set is the small side — gather
+            # it first so the frontier check touches only open targets.
+            idx = np.nonzero(depth[gdst] == INF_DEPTH)[0]
+            cand = gdst[idx]
+            fwd_targets = cand[depth[gsrc[idx]] == level]
+            if symmetric:
+                idx = np.nonzero(depth[gsrc] == INF_DEPTH)[0]
+                cand = gsrc[idx]
+                bwd_targets = cand[depth[gdst[idx]] == level]
+        else:
+            # Sparse frontier: filter by the frontier side first.
+            idx = np.nonzero(depth[gsrc] == level)[0]
+            cand = gdst[idx]
+            fwd_targets = cand[depth[cand] == INF_DEPTH]
+            if symmetric:
+                idx = np.nonzero(depth[gdst] == level)[0]
+                cand = gsrc[idx]
+                bwd_targets = cand[depth[cand] == INF_DEPTH]
         return fwd_targets, bwd_targets, edges
 
     def batch_partial(self, views):

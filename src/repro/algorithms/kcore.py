@@ -129,10 +129,20 @@ class KCore(TileAlgorithm):
         """Only tiles touching just-peeled vertices need reading."""
         return self._rows_of_vertices(self._removed_now)
 
+    def cols_active(self) -> np.ndarray:
+        """Peeling decrements both endpoints whatever the stored
+        orientation, so on directed storage a tile is also needed when a
+        just-peeled vertex sits in its *column* range."""
+        return self._rows_of_vertices(self._removed_now)
+
     def rows_active_next(self) -> np.ndarray:
         """Vertices that may fall below k next round sit where degrees
         just changed — conservatively, rows of current survivors whose
         degree is already marginal."""
+        marginal = self.active & (self.residual_degree < self.k)
+        return self._rows_of_vertices(marginal)
+
+    def cols_active_next(self) -> np.ndarray:
         marginal = self.active & (self.residual_degree < self.k)
         return self._rows_of_vertices(marginal)
 

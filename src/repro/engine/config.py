@@ -10,6 +10,8 @@ Every optimisation the paper ablates is a field here:
 * ``io_mode`` — batched AIO vs synchronous POSIX reads (§V-B).
 * ``overlap`` — pipeline I/O with compute (the *slide*) or serialise,
   on the *simulated* clock.
+* ``selective`` — frontier-driven tile skipping (§V-B) vs the dense
+  fetch-every-tile baseline; same results, fewer bytes moved.
 * ``prefetch_depth`` — the *real* (wall-clock) prefetch pipeline: how many
   segment batches a background worker fetches + decodes ahead of compute
   (0 = strictly serial fetch-then-compute, the ablation baseline).
@@ -76,6 +78,14 @@ class EngineConfig:
     #: shared memory or process spawning is unavailable the engine falls
     #: back to ``"thread"`` gracefully.
     backend: "str | None" = None
+    #: Activity-aware tile skipping (§V-B): each iteration fetches only
+    #: the tiles the algorithm's frontier metadata says it must touch
+    #: (``rows_active()``/``cols_active()``/``tile_mask()``).  False is
+    #: the dense ablation baseline — every non-empty tile is fetched every
+    #: iteration and proactive caching sees an all-active next iteration.
+    #: Results are bit-identical either way; only bytes moved differ
+    #: (tracked per iteration as ``bytes_skipped``/``tiles_skipped``).
+    selective: bool = True
     #: Real prefetch pipeline depth: batches ``k+1..k+depth`` are fetched
     #: and decoded by a background worker while batch ``k`` computes on the
     #: engine thread.  0 disables the pipeline entirely (the serial

@@ -3,7 +3,10 @@
 Per iteration the engine:
 
 1. asks the algorithm which tile rows are active and *selects* the needed
-   tiles (§V-B);
+   tiles (§V-B) — the plan is rebuilt from the frontier every iteration,
+   so collapsed frontiers fetch almost nothing (``config.selective``;
+   off is the dense fetch-everything ablation baseline, and the skipped
+   tiles/bytes are accounted either way);
 2. *rewinds*: tiles already in the cache pool are processed first, with no
    I/O (§VI-D);
 3. *slides*: the remaining tiles stream through segment batches — batch
@@ -41,7 +44,11 @@ import numpy as np
 from repro.algorithms.base import TileAlgorithm
 from repro.engine.checkpoint import CheckpointManager
 from repro.engine.config import EngineConfig
-from repro.engine.selective import merge_requests, select_positions
+from repro.engine.selective import (
+    dense_positions,
+    merge_requests,
+    select_positions,
+)
 from repro.engine.stats import IterationStats, RunStats
 from repro.errors import AlgorithmError, ChecksumError, FormatError, StorageError
 from repro.faults.injector import FaultInjector
@@ -193,6 +200,15 @@ class GStoreEngine:
         # concatenated global-ID arrays) are built once and reused.
         self._rewind_key: "list[int] | None" = None
         self._rewind_merged: "list | None" = None
+        # Dense demand baseline, fixed per graph: every non-empty position
+        # plus its byte total.  Selective iterations measure what they
+        # skipped against it; selective-off iterations fetch exactly it.
+        self._dense_positions = dense_positions(graph)
+        se = graph.start_edge.start_edge
+        dp = self._dense_positions
+        self._dense_bytes = (
+            int((se[dp + 1] - se[dp]).sum()) * graph.start_edge.tuple_bytes
+        )
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -383,9 +399,10 @@ class GStoreEngine:
                 scr.end_iteration(
                     g.tile_rows,
                     g.tile_cols,
-                    algorithm.rows_active(),
+                    algorithm.rows_active() if cfg.selective
+                    else np.ones(g.p, dtype=bool),
                     g.info.symmetric,
-                    algorithm.cols_active(),
+                    algorithm.cols_active() if cfg.selective else None,
                 )
                 if ckpt is not None:
                     # Saved after the end-of-iteration cache analysis, so
@@ -412,6 +429,7 @@ class GStoreEngine:
         stats.extra["pipeline_wall"] = self.wall_overlap.as_dict()
         stats.extra["execution"] = {
             "fused": cfg.fused and algorithm.supports_fused,
+            "selective": cfg.selective,
             "workers": cfg.workers,
             "workers_resolved": self.workers,
             "backend": self.backend,
@@ -453,12 +471,29 @@ class GStoreEngine:
             algorithm.begin_iteration(iteration)
 
             with tracer.span("select", cat="engine", iteration=iteration):
-                needed = select_positions(
-                    g,
-                    algorithm.rows_active(),
-                    algorithm.cols_active(),
-                    algorithm.tile_mask(g.tile_rows, g.tile_cols),
-                )
+                if cfg.selective:
+                    needed = select_positions(
+                        g,
+                        algorithm.rows_active(),
+                        algorithm.cols_active(),
+                        algorithm.tile_mask(g.tile_rows, g.tile_cols),
+                    )
+                else:
+                    # Dense ablation baseline: every non-empty tile, every
+                    # iteration — what the engine did before activity-aware
+                    # skipping.
+                    needed = self._dense_positions
+                # Skip accounting against the fixed dense demand: what a
+                # fetch-everything iteration would have moved but this
+                # one's frontier ruled out.
+                se = g.start_edge.start_edge
+                needed_bytes = (
+                    int((se[needed + 1] - se[needed]).sum())
+                    * g.start_edge.tuple_bytes
+                ) if needed.size else 0
+                it.tiles_skipped = int(self._dense_positions.size - needed.size)
+                it.bytes_skipped = self._dense_bytes - needed_bytes
+                scr.note_skipped(it.tiles_skipped, it.bytes_skipped)
                 cached, to_fetch = scr.split_cached(needed, g.start_edge)
                 # The slide schedule is fixed before anything executes, so
                 # the prefetcher can run arbitrarily far ahead of compute.
@@ -478,7 +513,7 @@ class GStoreEngine:
 
             try:
                 # --- Rewind: consume the pool before any I/O (§VI-D). ---
-                if cached:
+                if cached.size:
                     rewound = scr.cached_buffers(cached)
                     if prefetcher is not None:
                         # Rewind decode off the critical path: it runs on
@@ -516,9 +551,9 @@ class GStoreEngine:
                         rewound,
                         g.tile_rows,
                         g.tile_cols,
-                        algorithm.rows_active_next(),
+                        self._rows_active_next(algorithm),
                         g.info.symmetric,
-                        algorithm.cols_active_next(),
+                        self._cols_active_next(algorithm),
                     )
 
                 # --- Slide: overlapped fetch/compute over segment batches.
@@ -615,6 +650,25 @@ class GStoreEngine:
             reg.counter("engine.tiles_fetched").add(it.tiles_fetched)
             reg.counter("engine.tiles_from_cache").add(it.tiles_from_cache)
             reg.counter("engine.edges_processed").add(it.edges_processed)
+            reg.counter("engine.bytes_skipped").add(it.bytes_skipped)
+            reg.counter("engine.tiles_skipped").add(it.tiles_skipped)
+            # Per-iteration bytes lane on the simulated clock: one span
+            # per iteration on the ``sim:bytes`` track carrying the moved
+            # vs skipped byte split.  Emitted in plan order on the engine
+            # thread, so — like every simulated lane — the export is
+            # bit-identical at any prefetch depth or backend.
+            tracer.sim_span(
+                "bytes",
+                start=elapsed_before,
+                duration=it.elapsed,
+                track="sim:bytes",
+                cat="bytes",
+                iteration=iteration,
+                bytes_read=it.bytes_read,
+                bytes_from_cache=it.bytes_from_cache,
+                bytes_skipped=it.bytes_skipped,
+                tiles_skipped=it.tiles_skipped,
+            )
         return it
 
     # ------------------------------------------------------------------ #
@@ -711,6 +765,23 @@ class GStoreEngine:
                 ).add(1)
             raise
 
+    def _rows_active_next(self, algorithm: TileAlgorithm) -> np.ndarray:
+        """Next-iteration row activity as proactive caching should see it.
+
+        With selective scheduling off the cache must not consult frontier
+        metadata either — every row reads as active, so nothing is ruled
+        out of the pool and the run reproduces the pre-selective dense
+        engine exactly.
+        """
+        if self.config.selective:
+            return algorithm.rows_active_next()
+        return np.ones(self.graph.p, dtype=bool)
+
+    def _cols_active_next(self, algorithm: TileAlgorithm) -> "np.ndarray | None":
+        if self.config.selective:
+            return algorithm.cols_active_next()
+        return None
+
     def _rewind_views(self, algorithm: TileAlgorithm, cached, rewound):
         """Views for the rewind batch.
 
@@ -740,7 +811,8 @@ class GStoreEngine:
                     for buf, tv in zip(misses, decoded):
                         buf.view = tv
             return [buf.view for buf in rewound]
-        if cached == self._rewind_key:
+        key = [int(p) for p in cached]
+        if key == self._rewind_key:
             return self._rewind_merged
         # Fused path: the pooled buffers are zero-copy slices of the
         # immutable tile store, so the rewind set can be re-merged into
@@ -756,7 +828,7 @@ class GStoreEngine:
                 with_tiles=False,
             )
             views = g.split_run_views(views, _RUN_SPLIT)
-        self._rewind_key = list(cached)
+        self._rewind_key = key
         self._rewind_merged = views
         return views
 
@@ -827,9 +899,9 @@ class GStoreEngine:
             batch.buffers,
             g.tile_rows,
             g.tile_cols,
-            algorithm.rows_active_next(),
+            self._rows_active_next(algorithm),
             g.info.symmetric,
-            algorithm.cols_active_next(),
+            self._cols_active_next(algorithm),
         )
         return self.config.cost_model.compute_time(
             algorithm.name,

@@ -34,6 +34,13 @@ class IterationStats:
     tiles_fetched: int = 0
     tiles_from_cache: int = 0
     edges_processed: int = 0
+    #: Bytes selective scheduling did *not* move this iteration: the byte
+    #: total of non-empty tiles the frontier metadata ruled out (§V-B).
+    #: ``bytes_read + bytes_from_cache + bytes_skipped`` is the dense
+    #: demand — what a fetch-everything iteration would have touched.
+    bytes_skipped: int = 0
+    #: Non-empty tiles selective scheduling skipped this iteration.
+    tiles_skipped: int = 0
 
 
 @dataclass
@@ -53,6 +60,8 @@ class RunStats:
     tiles_fetched: int = 0
     tiles_from_cache: int = 0
     edges_processed: int = 0
+    bytes_skipped: int = 0
+    tiles_skipped: int = 0
     wall_seconds: float = 0.0
     metadata_bytes: int = 0
     extra: dict = field(default_factory=dict)
@@ -71,6 +80,8 @@ class RunStats:
         self.tiles_fetched += it.tiles_fetched
         self.tiles_from_cache += it.tiles_from_cache
         self.edges_processed += it.edges_processed
+        self.bytes_skipped += it.bytes_skipped
+        self.tiles_skipped += it.tiles_skipped
 
     def mteps(self) -> float:
         """Million traversed edges per second on the simulated timeline
@@ -82,6 +93,13 @@ class RunStats:
     def cache_hit_fraction(self) -> float:
         total = self.bytes_read + self.bytes_from_cache
         return self.bytes_from_cache / total if total else 0.0
+
+    def bytes_skipped_fraction(self) -> float:
+        """Fraction of the dense demand that selective scheduling never
+        moved — ``skipped / (read + cached + skipped)``, the "bytes saved
+        per iteration" metric summed over the run."""
+        dense = self.bytes_read + self.bytes_from_cache + self.bytes_skipped
+        return self.bytes_skipped / dense if dense else 0.0
 
     def wall_io_stall_fraction(self) -> "float | None":
         """Fraction of the run's *wall* time the engine thread spent
@@ -111,6 +129,12 @@ class RunStats:
             f"({self.mteps():.1f} MTEPS), tiles {self.tiles_fetched} fetched / "
             f"{self.tiles_from_cache} cached",
         ]
+        if self.tiles_skipped:
+            lines.append(
+                f"  selective: skipped {self.tiles_skipped} tiles / "
+                f"{fmt_bytes(self.bytes_skipped)} "
+                f"({self.bytes_skipped_fraction():.0%} of dense demand)"
+            )
         wall = self.extra.get("pipeline_wall")
         if wall and wall.get("batches"):
             lines.append(

@@ -81,6 +81,11 @@ class SCRStats:
     cache_hits: int = 0
     bytes_from_cache: int = 0
     analyses: int = 0
+    #: Non-empty tiles / bytes the selective plan never requested (§V-B):
+    #: the difference between the dense disk order and the frontier-driven
+    #: fetch set, accumulated over the run by the engine.
+    tiles_skipped: int = 0
+    bytes_skipped: int = 0
 
 
 @dataclass
@@ -105,32 +110,52 @@ class SCRScheduler:
     # ------------------------------------------------------------------ #
 
     def split_cached(
-        self, needed_positions: "list[int]", start_edge: StartEdgeIndex
-    ) -> "tuple[list[int], list[int]]":
+        self, needed_positions: "np.ndarray | list[int]",
+        start_edge: StartEdgeIndex,
+    ) -> "tuple[np.ndarray, np.ndarray]":
         """Partition this iteration's tiles into (cached, to-fetch).
 
-        Cached tiles are processed first — the *rewind* step that consumes
-        what the previous iteration left in memory before any new I/O.
+        Both halves come back as ``int64`` arrays in disk order — the same
+        dtype :func:`~repro.engine.selective.select_positions` hands in, so
+        the fetch set never round-trips through a Python list.  Cached
+        tiles are processed first — the *rewind* step that consumes what
+        the previous iteration left in memory before any new I/O.
         """
-        if self.policy is not CachePolicy.SCR or len(self.pool) == 0:
-            return [], list(needed_positions)
         arr = np.asarray(needed_positions, dtype=np.int64)
+        if self.policy is not CachePolicy.SCR or len(self.pool) == 0:
+            return np.empty(0, dtype=np.int64), arr
         mask = np.isin(arr, self.pool.position_array(), assume_unique=True)
         hit = arr[mask]
-        cached = hit.tolist()
-        to_fetch = arr[~mask].tolist()
-        if cached:
+        to_fetch = arr[~mask]
+        if hit.size:
             se = start_edge.start_edge
             hit_bytes = (
                 int((se[hit + 1] - se[hit]).sum()) * start_edge.tuple_bytes
             )
-            self.stats.cache_hits += len(cached)
+            self.stats.cache_hits += int(hit.size)
             self.stats.bytes_from_cache += hit_bytes
             if self.tracer.enabled:
                 reg = self.tracer.registry
-                reg.counter("scr.cache_hits").add(len(cached))
+                reg.counter("scr.cache_hits").add(int(hit.size))
                 reg.counter("scr.bytes_from_cache").add(hit_bytes)
-        return cached, to_fetch
+        return hit, to_fetch
+
+    def note_skipped(self, tiles: int, bytes_: int) -> None:
+        """Record tiles/bytes the selective plan excluded this iteration.
+
+        Called by the engine once per iteration with the difference
+        between the dense disk order and the frontier-driven fetch set;
+        mirrors into the ``selective.tiles_skipped`` / ``scr.bytes_skipped``
+        counters when tracing.
+        """
+        if tiles <= 0:
+            return
+        self.stats.tiles_skipped += tiles
+        self.stats.bytes_skipped += bytes_
+        if self.tracer.enabled:
+            reg = self.tracer.registry
+            reg.counter("selective.tiles_skipped").add(tiles)
+            reg.counter("scr.bytes_skipped").add(bytes_)
 
     def cached_buffer(self, pos: int) -> TileBuffer:
         buf = self.pool.get(pos)
@@ -147,15 +172,19 @@ class SCRScheduler:
     # ------------------------------------------------------------------ #
 
     def segment_plan(
-        self, positions: "list[int]", start_edge: StartEdgeIndex
+        self, positions: "np.ndarray | list[int]", start_edge: StartEdgeIndex
     ) -> SlidePlan:
         """The full slide schedule for this iteration's fetch set.
 
-        Chunks fetch positions into segment-sized batches (disk order) and
-        records each batch's byte size.  Each batch is one AIO submission
-        filling one streaming segment; a tile larger than a whole segment
-        still travels alone (tiles are the indivisible I/O unit, §V-B: "we
-        do not fetch, process or cache partial data from any tile").  The
+        ``positions`` is the (possibly frontier-thinned) ``int64`` fetch
+        set from :meth:`split_cached` — under selective scheduling it is
+        rebuilt every iteration, so each iteration's plan covers exactly
+        the tiles its frontier needs and nothing else.  Chunks fetch
+        positions into segment-sized batches (disk order) and records each
+        batch's byte size.  Each batch is one AIO submission filling one
+        streaming segment; a tile larger than a whole segment still
+        travels alone (tiles are the indivisible I/O unit, §V-B: "we do
+        not fetch, process or cache partial data from any tile").  The
         plan is returned *ahead of execution* so the prefetch pipeline can
         run arbitrarily far into it.
         """
@@ -164,12 +193,12 @@ class SCRScheduler:
         cur: "list[int]" = []
         cur_bytes = 0
         cap = self.budget.segment_bytes
-        if not positions:
+        arr = np.asarray(positions, dtype=np.int64)
+        if arr.size == 0:
             return SlidePlan(batches=(), batch_bytes=())
         se = start_edge.start_edge
-        arr = np.asarray(positions, dtype=np.int64)
         sizes = ((se[arr + 1] - se[arr]) * start_edge.tuple_bytes).tolist()
-        for pos, size in zip(positions, sizes):
+        for pos, size in zip(arr.tolist(), sizes):
             if cur and cur_bytes + size > cap:
                 batches.append(tuple(cur))
                 sizes_out.append(cur_bytes)

@@ -28,15 +28,23 @@ class TestSplitCached:
     def test_nothing_cached_initially(self, start_edge):
         s = _sched()
         cached, fetch = s.split_cached([0, 2, 4], start_edge)
-        assert cached == []
-        assert fetch == [0, 2, 4]
+        assert cached.size == 0
+        assert fetch.tolist() == [0, 2, 4]
+
+    def test_returns_int64_arrays(self, start_edge):
+        s = _sched()
+        cached, fetch = s.split_cached(
+            np.array([0, 2, 4], dtype=np.int64), start_edge
+        )
+        assert cached.dtype == np.int64
+        assert fetch.dtype == np.int64
 
     def test_cached_tiles_split_out(self, start_edge):
         s = _sched()
         s.pool.add(_buf(2, 80))
         cached, fetch = s.split_cached([0, 2, 4], start_edge)
-        assert cached == [2]
-        assert fetch == [0, 4]
+        assert cached.tolist() == [2]
+        assert fetch.tolist() == [0, 4]
         assert s.stats.cache_hits == 1
         assert s.stats.bytes_from_cache == 80
 
@@ -44,8 +52,8 @@ class TestSplitCached:
         s = _sched(policy=CachePolicy.BASE)
         s.pool.add(_buf(2, 80))  # capacity 0 -> refused anyway
         cached, fetch = s.split_cached([2], start_edge)
-        assert cached == []
-        assert fetch == [2]
+        assert cached.size == 0
+        assert fetch.tolist() == [2]
 
 
 class TestSegmentBatches:

@@ -12,11 +12,24 @@ class TestSelectPositions:
         rows = np.ones(tg.p, dtype=bool)
         pos = select_positions(tg, rows)
         counts = tg.tile_edge_counts()
-        assert pos == [p for p in range(tg.n_tiles) if counts[p] > 0]
+        assert pos.tolist() == [
+            p for p in range(tg.n_tiles) if counts[p] > 0
+        ]
+
+    def test_returns_int64_ndarray(self, tiled_undirected):
+        # The fetch set stays an int64 array end to end — callers
+        # fancy-index with it directly, no list round-trips.
+        pos = select_positions(
+            tiled_undirected, np.ones(tiled_undirected.p, dtype=bool)
+        )
+        assert isinstance(pos, np.ndarray)
+        assert pos.dtype == np.int64
 
     def test_no_rows_active_selects_nothing(self, tiled_undirected):
         rows = np.zeros(tiled_undirected.p, dtype=bool)
-        assert select_positions(tiled_undirected, rows) == []
+        pos = select_positions(tiled_undirected, rows)
+        assert isinstance(pos, np.ndarray)
+        assert pos.size == 0
 
     def test_single_row_selection_undirected(self, tiled_undirected):
         tg = tiled_undirected
@@ -29,7 +42,14 @@ class TestSelectPositions:
     def test_positions_in_disk_order(self, tiled_undirected):
         rows = np.ones(tiled_undirected.p, dtype=bool)
         pos = select_positions(tiled_undirected, rows)
-        assert pos == sorted(pos)
+        assert pos.tolist() == sorted(pos.tolist())
+
+    def test_matches_dense_positions_when_all_active(self, tiled_undirected):
+        from repro.engine.selective import dense_positions
+
+        tg = tiled_undirected
+        pos = select_positions(tg, np.ones(tg.p, dtype=bool))
+        np.testing.assert_array_equal(pos, dense_positions(tg))
 
 
 class TestMergeRequests:
@@ -62,6 +82,16 @@ class TestMergeRequests:
     def test_empty_input(self):
         idx = self._idx([1])
         assert merge_requests([], idx) == []
+        assert merge_requests(np.empty(0, dtype=np.int64), idx) == []
+
+    def test_accepts_ndarray_positions(self):
+        # select_positions hands over an int64 array; tags come back as
+        # plain python ints either way.
+        idx = self._idx([5, 5, 5])
+        reqs = merge_requests(np.array([0, 1, 2], dtype=np.int64), idx)
+        assert len(reqs) == 1
+        assert reqs[0].tag == [0, 1, 2]
+        assert all(type(t) is int for t in reqs[0].tag)
 
 
 class TestSliceRun:
