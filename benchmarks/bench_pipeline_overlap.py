@@ -37,9 +37,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
 import os
-import platform
 import sys
 import time
 
@@ -47,6 +45,9 @@ import numpy as np
 
 ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.join(ROOT, "src"))
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from bench_common import machine_block, merge_payload  # noqa: E402
 
 from repro.algorithms.bfs import BFS  # noqa: E402
 from repro.algorithms.pagerank import PageRank  # noqa: E402
@@ -54,7 +55,6 @@ from repro.engine.config import EngineConfig  # noqa: E402
 from repro.engine.gstore import GStoreEngine  # noqa: E402
 from repro.format.tiles import TiledGraph  # noqa: E402
 from repro.graphgen.rmat import rmat  # noqa: E402
-from repro.runtime.threads import execution_fingerprint  # noqa: E402
 from repro.storage.device import DeviceProfile  # noqa: E402
 
 ALGOS = {
@@ -259,12 +259,10 @@ def main(argv=None) -> int:
     payload = {
         "benchmark": "pipeline_overlap",
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
-        "machine": {
-            "platform": platform.platform(),
-            "python": platform.python_version(),
-            "cpus": os.cpu_count(),
-            **execution_fingerprint(),
-        },
+        # One machine/fingerprint block per invocation (not per mode):
+        # every mode above ran in this same environment, and the shard
+        # benchmark merging into the same file checks against this block.
+        "machine": machine_block(),
         "graph": {
             "scale": args.scale,
             "n_vertices": tg.n_vertices,
@@ -285,9 +283,7 @@ def main(argv=None) -> int:
     }
     if args.selective:
         payload["selective"] = run_selective(el, args)
-    with open(args.out, "w", encoding="utf-8") as fh:
-        json.dump(payload, fh, indent=2)
-        fh.write("\n")
+    payload = merge_payload(args.out, payload, preserve=("shard_scaling",))
     print(f"wrote {args.out}")
 
     if args.trace:

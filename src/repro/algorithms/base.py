@@ -99,7 +99,8 @@ class TileAlgorithm(abc.ABC):
             edges += self.process_tile(tv)
         return edges
 
-    def batch_shards(self, views: "list[TileView]") -> "list[list[TileView]]":
+    @classmethod
+    def shard_views(cls, views: "list[TileView]") -> "list[list[TileView]]":
         """Split a batch into the shards fused execution operates on.
 
         The default is a small number of contiguous, edge-balanced chunks —
@@ -108,12 +109,21 @@ class TileAlgorithm(abc.ABC):
         skewed rows (§VI-B).  The structure must depend only on the batch
         contents — never the worker count — because partials are committed
         in shard order and that order defines the floating-point
-        accumulation sequence.  Algorithms wanting row-aligned shards can
-        override with :func:`~repro.runtime.threads.row_run_shards`.
+        accumulation sequence.  A classmethod (of the class and the batch,
+        never instance state) so shard worker processes
+        (:mod:`repro.runtime.shard`) chunk exactly as the coordinator
+        would without holding an algorithm instance.  Algorithms wanting
+        row-aligned shards can override with
+        :func:`~repro.runtime.threads.row_run_shards`.
         """
         from repro.runtime.threads import chunk_by_edges
 
         return chunk_by_edges(views)
+
+    def batch_shards(self, views: "list[TileView]") -> "list[list[TileView]]":
+        """Instance-side alias of :meth:`shard_views` (same structure on
+        every execution path — that is the determinism contract)."""
+        return type(self).shard_views(views)
 
     def batch_partial(self, views: "list[TileView]"):
         """Phase 1 of fused execution: the heavy, *read-only* pass.

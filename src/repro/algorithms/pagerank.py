@@ -139,7 +139,8 @@ class PageRank(TileAlgorithm):
     supports_fused = True
     supports_process = True
 
-    def batch_shards(self, views):
+    @classmethod
+    def shard_views(cls, views):
         # Each partial is a dense |V|-vector, so the shard count must stay
         # small and fixed — a worker-independent quantum keeps accumulation
         # order (and hence results) identical at any parallelism.

@@ -77,9 +77,10 @@ class SpMV(TileAlgorithm):
     supports_fused = True
     supports_process = True
 
-    def batch_shards(self, views):
+    @classmethod
+    def shard_views(cls, views):
         # Dense |V|-vector partials: fixed, worker-independent shard quantum
-        # (see PageRank.batch_shards).
+        # (see PageRank.shard_views).
         return chunk_by_edges(views, FLOAT_SHARD_QUANTUM)
 
     def kernel_state(self):

@@ -163,7 +163,9 @@ def cmd_run(args: argparse.Namespace) -> int:
     if args.faults is not None:
         cfg.faults = FaultPlan.parse(args.faults)
         print(f"fault injection: {cfg.faults.describe()}")
-    stats = GStoreEngine(tg, cfg).run(algo, checkpoint=args.checkpoint)
+    cfg.shards = args.shards
+    with GStoreEngine(tg, cfg) as engine:
+        stats = engine.run(algo, checkpoint=args.checkpoint)
     print(stats.summary())
     return 0
 
@@ -293,6 +295,11 @@ def build_parser() -> argparse.ArgumentParser:
     pr.add_argument("--checkpoint", default=None, metavar="DIR",
                     help="checkpoint algorithm state here every iteration; "
                          "resumes automatically when DIR already holds one")
+    pr.add_argument("--shards", type=int, default=None, metavar="K",
+                    help="shard-parallel execution over K persistent "
+                         "engine worker processes (default: the "
+                         "REPRO_SHARDS environment variable, else 1); "
+                         "results are bit-identical at any K")
     pr.add_argument("--no-scr", action="store_true",
                     help="use the two-segment base policy instead of SCR")
     pr.set_defaults(fn=cmd_run)

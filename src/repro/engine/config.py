@@ -78,6 +78,19 @@ class EngineConfig:
     #: shared memory or process spawning is unavailable the engine falls
     #: back to ``"thread"`` gracefully.
     backend: "str | None" = None
+    #: Shard-parallel execution: partition each iteration's slide plan
+    #: over this many persistent engine worker *processes* — each owning
+    #: its own tile-store mapping, simulated device lane, and fused
+    #: fetch→decode→kernel chain — with the coordinator scattering frozen
+    #: kernel state per iteration and committing gathered partials in
+    #: plan order (docs/ARCHITECTURE.md "Sharded execution").  1 is the
+    #: single-coordinator engine; ``None`` resolves from the
+    #: ``REPRO_SHARDS`` environment variable, default 1.  Results and
+    #: simulated statistics are bit-identical at any shard count; runs
+    #: that cannot shard (per-tile mode, fault injection, checksum
+    #: verification, algorithms without the process-kernel contract, or
+    #: spawn/shm unavailable) fall back to the single-process path.
+    shards: "int | None" = None
     #: Activity-aware tile skipping (§V-B): each iteration fetches only
     #: the tiles the algorithm's frontier metadata says it must touch
     #: (``rows_active()``/``cols_active()``/``tile_mask()``).  False is
@@ -140,6 +153,13 @@ class EngineConfig:
             raise StorageError(
                 f"backend must be 'serial', 'thread', 'process', or None "
                 f"(REPRO_BACKEND default), got {self.backend!r}"
+            )
+        if self.shards is not None and (
+            not isinstance(self.shards, int) or self.shards < 1
+        ):
+            raise StorageError(
+                f"shards must be a positive int or None "
+                f"(REPRO_SHARDS default), got {self.shards!r}"
             )
         if self.prefetch_depth < 0:
             raise StorageError("prefetch_depth must be >= 0")

@@ -57,11 +57,15 @@ from repro.memory.scr import SCRScheduler, SlidePlan
 from repro.memory.segments import MemoryBudget, TileBuffer
 from repro.obs import NULL_TRACER, Tracer
 from repro.storage.aio import AIOContext
-from repro.storage.device import DeviceProfile
 from repro.storage.file import TileStore
-from repro.storage.raid import Raid0Array
 from repro.util.timer import SimClock, WallTimer
 from repro.runtime.pipeline import PipelineTimeline, WallOverlap
+from repro.runtime.shard import (
+    ShardGather,
+    ShardRuntime,
+    ShardRuntimeError,
+    build_device_array,
+)
 from repro.runtime.threads import (
     DEFAULT_MAX_SHARDS,
     Prefetcher,
@@ -71,6 +75,7 @@ from repro.runtime.threads import (
     WorkerPool,
     execute_batch,
     resolve_backend,
+    resolve_shards,
     resolve_workers,
 )
 
@@ -98,6 +103,30 @@ class _Batch:
     views: list
     edges: int
 
+    @property
+    def n_tiles(self) -> int:
+        return len(self.buffers)
+
+
+@dataclass
+class _ShardBatch:
+    """One batch gathered from a shard worker: partials, not views.
+
+    The worker already ran the read-only kernel phase; the engine thread
+    applies the partials in chunk order (the same
+    ``shard_views``-defined order every other path uses), then rebuilds
+    the batch's pool buffers from its own store for the cache offer —
+    zero-copy slices of the immutable backing file, so no payload bytes
+    ever cross the worker queue.
+    """
+
+    positions: "list[int]"
+    partials: list
+
+    @property
+    def n_tiles(self) -> int:
+        return len(self.positions)
+
 
 @dataclass
 class _Prepared:
@@ -118,29 +147,9 @@ class GStoreEngine:
         self.graph = graph
         self.config = config or EngineConfig()
         self.clock = SimClock()
-        profile: DeviceProfile = self.config.device_profile
-        ssd = Raid0Array(
-            n_devices=self.config.n_ssds,
-            profile=profile,
-            stripe_bytes=self.config.stripe_bytes,
-        )
-        if self.config.tiered_hot_fraction is not None:
-            from repro.storage.tiered import HDD_PROFILE, TieredArray
-
-            hot_bytes = int(
-                graph.storage_bytes() * self.config.tiered_hot_fraction
-            )
-            self.array = TieredArray(
-                hot_bytes=hot_bytes,
-                ssd=ssd,
-                hdd=Raid0Array(
-                    n_devices=self.config.n_hdds,
-                    profile=HDD_PROFILE,
-                    stripe_bytes=self.config.stripe_bytes,
-                ),
-            )
-        else:
-            self.array = ssd
+        # Shared with shard workers (repro.runtime.shard), which build
+        # bit-identical device-array replicas from the same config.
+        self.array = build_device_array(self.config, graph)
         #: Observability (``repro.obs``): a real tracer when
         #: ``config.trace`` is set, the shared no-op otherwise.  Spans and
         #: counters accumulate for the engine's lifetime; export them with
@@ -193,6 +202,18 @@ class GStoreEngine:
         # created lazily by _process_runtime(), torn down by close().
         self._ppool: "ProcessPool | None" = None
         self._arena: "ShmArena | None" = None
+        #: Resolved shard count (``config.shards``, or the ``REPRO_SHARDS``
+        #: environment default).  >1 activates shard-parallel execution
+        #: for runs that can shard (see ``_run_can_shard``).
+        self.shards = resolve_shards(self.config.shards)
+        # Shard runtime (persistent worker processes + scatter arena);
+        # created lazily on the first shardable iteration, torn down by
+        # close().  _shard_failed latches a graceful fallback to the
+        # single-process path — permanently, for this engine — mirroring
+        # the process backend's degradation contract.
+        self._shard_rt: "ShardRuntime | None" = None
+        self._shard_failed = False
+        self._shard_active = False
         #: Wall-clock overlap accounting for the most recent run.
         self.wall_overlap = WallOverlap()
         # Memoized rewind batch: all-active algorithms rewind the same tile
@@ -297,6 +318,63 @@ class GStoreEngine:
         if arena is not None:
             arena.close()
 
+    def _run_can_shard(self, algorithm: TileAlgorithm) -> bool:
+        """Whether this run may execute shard-parallel.
+
+        Sharding needs the fused process-kernel contract (workers run the
+        static ``kernel_partial`` from a shipped state snapshot) and a
+        clean substrate: fault injection assigns request ordinals in
+        global plan order under one AIO lock, and checksum verification
+        happens at coordinator decode — neither exists on worker-private
+        replicas, so those runs stay single-process rather than silently
+        changing their semantics.
+        """
+        return (
+            self.shards > 1
+            and not self._shard_failed
+            and self.config.fused
+            and algorithm.supports_fused
+            and algorithm.supports_process
+            and self.injector is None
+            and not self._verify
+        )
+
+    def _shard_runtime(self) -> "ShardRuntime | None":
+        """The shard workers, spawned on first shardable iteration.
+
+        Falls back to the single-process engine — permanently, for this
+        engine — when shared memory or process spawning is unavailable,
+        mirroring ``_process_runtime``'s degradation contract: the run
+        completes either way with bit-identical results.
+        """
+        if self._shard_rt is None:
+            rt = ShardRuntime(
+                self.graph, self.config, self.shards, tracer=self.tracer
+            )
+            try:
+                rt.start()
+            except Exception as exc:
+                rt.shutdown()
+                self._shard_fallback("spawn_failed", exc)
+                return None
+            self._shard_rt = rt
+        return self._shard_rt
+
+    def _shard_fallback(self, reason: str, exc: BaseException) -> None:
+        """Degrade to the single-process path (counted + traced)."""
+        self._shard_failed = True
+        self._shard_active = False
+        if self.tracer.enabled:
+            self.tracer.registry.counter("shard.fallbacks").add(1)
+            self.tracer.instant(
+                "shard_fallback", cat="shard", reason=reason, error=str(exc)
+            )
+
+    def _teardown_shard_runtime(self) -> None:
+        rt, self._shard_rt = self._shard_rt, None
+        if rt is not None:
+            rt.shutdown()
+
     def warm_backend(self) -> str:
         """Start the configured backend's workers now; returns the live
         backend.  Benchmarks call this before timing so the one-time
@@ -307,6 +385,8 @@ class GStoreEngine:
             self._process_runtime()
         elif self._backend == "thread" and self.workers > 1:
             self.pool.executor  # noqa: B018 - touch spawns the threads
+        if self.shards > 1 and not self._shard_failed:
+            self._shard_runtime()
         return self._backend
 
     def close(self) -> None:
@@ -316,6 +396,7 @@ class GStoreEngine:
         if pool is not None:
             pool.shutdown()
         self._teardown_process_runtime()
+        self._teardown_shard_runtime()
 
     def __enter__(self) -> "GStoreEngine":
         return self
@@ -351,6 +432,7 @@ class GStoreEngine:
         self._rewind_key = None
         self._rewind_merged = None
         self._degraded = False
+        self._shard_active = self._run_can_shard(algorithm)
         self.wall_overlap = WallOverlap()
         if self._verify:
             g.ensure_checksums()
@@ -434,6 +516,11 @@ class GStoreEngine:
             "workers_resolved": self.workers,
             "backend": self.backend,
             "backend_resolved": self._backend,
+            "shards": cfg.shards,
+            # What this run actually executed with: the configured shard
+            # count when the sharded path ran to completion, else 1
+            # (non-shardable run, or graceful fallback mid-run).
+            "shards_resolved": self.shards if self._shard_active else 1,
             "prefetch_depth": cfg.prefetch_depth,
             "realize_io": cfg.realize_io,
             "degraded": self._degraded,
@@ -501,8 +588,31 @@ class GStoreEngine:
             fused = cfg.fused and algorithm.supports_fused
             self._presize_arena(algorithm, plan)
 
+            # Shard-parallel slide: scatter the iteration's frozen kernel
+            # state plus each worker's lane of the plan *before* rewind,
+            # so workers fetch + compute while the coordinator rewinds.
+            # (Safe: workers compute from the iteration-start snapshot;
+            # every shardable kernel is snapshot-tolerant — see
+            # repro.runtime.shard.)
+            gather: "ShardGather | None" = None
+            if self._shard_active and plan.n_batches > 0:
+                rt = self._shard_runtime()
+                if rt is not None:
+                    try:
+                        gather = rt.begin_iteration(algorithm, plan)
+                    except ShardRuntimeError as exc:
+                        self._teardown_shard_runtime()
+                        self._shard_fallback("scatter_failed", exc)
+
+            # Shard workers prefetch their own lanes; the coordinator-side
+            # prefetcher only runs on single-process iterations.
             prefetcher: "Prefetcher | None" = None
-            if cfg.prefetch_depth > 0 and plan.n_batches > 0 and not self._degraded:
+            if (
+                gather is None
+                and cfg.prefetch_depth > 0
+                and plan.n_batches > 0
+                and not self._degraded
+            ):
                 jobs = [
                     (lambda b=batch: self._prepare(list(b), fused))
                     for batch in plan.batches
@@ -515,7 +625,7 @@ class GStoreEngine:
                 # --- Rewind: consume the pool before any I/O (§VI-D). ---
                 if cached.size:
                     rewound = scr.cached_buffers(cached)
-                    if prefetcher is not None:
+                    if prefetcher is not None or gather is not None:
                         # Rewind decode off the critical path: it runs on
                         # the worker pool concurrently with the
                         # prefetcher's fetch of the first slide batches.
@@ -574,7 +684,36 @@ class GStoreEngine:
                             )
                     tc1 = _time.perf_counter()
                     self.wall_overlap.compute_busy += tc1 - tc0
-                    if prefetcher is not None:
+                    if gather is not None:
+                        with tracer.span("stall", cat="pipeline", batch=k):
+                            try:
+                                sp = gather.get()
+                                prep = _Prepared(
+                                    batch=_ShardBatch(
+                                        positions=list(plan.batches[k]),
+                                        partials=sp.partials,
+                                    ),
+                                    io_time=sp.io_time,
+                                    bytes_read=sp.bytes_read,
+                                    wall=sp.wall,
+                                )
+                            except ShardRuntimeError as exc:
+                                # Graceful degradation: a shard worker
+                                # died mid-iteration.  Already-gathered
+                                # batches are applied and committed;
+                                # nothing from batch k onward touched the
+                                # clock or the algorithm, so finishing
+                                # those batches on the coordinator's own
+                                # fetch path keeps results and simulated
+                                # stats bit-identical.
+                                gather = None
+                                self._teardown_shard_runtime()
+                                self._shard_fallback("worker_died", exc)
+                                prep = self._prepare(
+                                    list(plan.batches[k]), fused
+                                )
+                        stall = _time.perf_counter() - tc1
+                    elif prefetcher is not None:
                         with tracer.span("stall", cat="pipeline", batch=k):
                             try:
                                 prep: _Prepared = prefetcher.get()
@@ -606,14 +745,15 @@ class GStoreEngine:
                         prep = self._prepare(list(plan.batches[k]), fused)
                         stall = prep.wall  # serial path: compute waits it out
                     self.wall_overlap.record_fetch(
-                        prep.wall, stall, prefetched=prefetcher is not None
+                        prep.wall, stall,
+                        prefetched=prefetcher is not None or gather is not None,
                     )
                     self.aio.commit(prep.io_time)
                     timeline.step(prep.io_time, comp_t)
                     it.io_time += prep.io_time
                     it.compute_time += comp_t
                     it.bytes_read += prep.bytes_read
-                    it.tiles_fetched += len(prep.batch.buffers)
+                    it.tiles_fetched += prep.batch.n_tiles
                     prev = prep
 
                 # Pipeline drain: the last fetched batch computes with no
@@ -631,9 +771,15 @@ class GStoreEngine:
                     timeline.compute_only(comp_t)
                     it.compute_time += comp_t
             finally:
-                # An algorithm exception must not leak the prefetch thread.
+                # An algorithm exception must not leak the prefetch thread
+                # or leave undelivered shard results in the queue (a dirty
+                # queue would corrupt the next iteration's gather; if the
+                # drain fails the runtime marks itself broken and the next
+                # scatter falls back gracefully).
                 if prefetcher is not None:
                     prefetcher.close()
+                if gather is not None:
+                    gather.close()
 
         it.elapsed = timeline.totals.elapsed - elapsed_before
         if tracer.enabled:
@@ -731,6 +877,25 @@ class GStoreEngine:
             wall=_time.perf_counter() - t0,
         )
 
+    def _tile_buffers(self, positions: "list[int]") -> "list[TileBuffer]":
+        """Per-tile pool buffers rebuilt straight off the backing store.
+
+        Zero-copy slices of the immutable tile file, charged no simulated
+        I/O — used where the bytes were already paid for elsewhere: cache
+        reseeding after checkpoint resume, and cache offers for batches
+        whose fetch happened on a shard worker's private store mapping.
+        """
+        g = self.graph
+        return [
+            TileBuffer(
+                pos=pos,
+                i=int(g.tile_rows[pos]),
+                j=int(g.tile_cols[pos]),
+                data=self.store.read(*g.start_edge.byte_extent(pos)),
+            )
+            for pos in positions
+        ]
+
     def _seed_pool(self, scr: SCRScheduler, positions: "list[int]") -> None:
         """Repopulate the cache pool from a checkpoint's membership list.
 
@@ -739,17 +904,8 @@ class GStoreEngine:
         them would skew the resumed timeline for data that is by definition
         cache-resident.
         """
-        g = self.graph
-        for pos in positions:
-            off, size = g.start_edge.byte_extent(pos)
-            scr.pool.add(
-                TileBuffer(
-                    pos=pos,
-                    i=int(g.tile_rows[pos]),
-                    j=int(g.tile_cols[pos]),
-                    data=self.store.read(off, size),
-                )
-            )
+        for buf in self._tile_buffers(positions):
+            scr.pool.add(buf)
 
     def _verify_tile(self, pos: int, raw: "bytes | memoryview") -> None:
         """Checksum one fetched tile extent (on whichever thread decoded
@@ -889,14 +1045,28 @@ class GStoreEngine:
         self,
         algorithm: TileAlgorithm,
         scr: SCRScheduler,
-        batch: _Batch,
+        batch: "_Batch | _ShardBatch",
         it: IterationStats,
     ) -> float:
         g = self.graph
-        edges = self._execute_views(algorithm, batch.views)
+        if isinstance(batch, _ShardBatch):
+            # The read-only kernel phase already ran on a shard worker;
+            # apply its partials here in chunk order — the same
+            # shard_views-defined sequence every single-process backend
+            # commits in, which is what keeps float accumulation (and so
+            # results) bit-identical at any shard count.  Pool buffers are
+            # rebuilt from the coordinator's own store: cache membership
+            # is coordinator state, and the bytes are zero-copy.
+            edges = 0
+            for partial in batch.partials:
+                edges += algorithm.apply_partial(partial)
+            buffers = self._tile_buffers(batch.positions)
+        else:
+            edges = self._execute_views(algorithm, batch.views)
+            buffers = batch.buffers
         it.edges_processed += edges
         scr.offer(
-            batch.buffers,
+            buffers,
             g.tile_rows,
             g.tile_cols,
             self._rows_active_next(algorithm),
@@ -906,5 +1076,5 @@ class GStoreEngine:
         return self.config.cost_model.compute_time(
             algorithm.name,
             edges * algorithm.direction_passes,
-            len(batch.buffers),
+            len(buffers),
         )

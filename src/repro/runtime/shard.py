@@ -1,0 +1,498 @@
+"""Shard-parallel execution: a coordinator over persistent engine workers.
+
+G-store's trillion-edge deployment partitions the 2-D tile grid so
+independent workers stream disjoint regions concurrently (§III, §VI).
+This module is that shape at reproduction scale: ``EngineConfig.shards=K``
+spawns K persistent **shard workers**, each a full engine replica for the
+fetch half of the pipeline — its own :class:`~repro.storage.file.TileStore`
+mapping, its own simulated device array (an independent *device lane*
+whose modeled service time is a pure function of the byte extents, hence
+identical to the coordinator's), and the whole zero-copy
+fetch → decode → fused-kernel chain.  The coordinator keeps everything
+that defines determinism: plan construction, the SCR cache pool, the
+rewind phase, the simulated clock, and partial application.
+
+Per iteration the coordinator *scatters* the algorithm's frozen kernel
+state through a dedicated :class:`~repro.runtime.threads.ShmArena`
+(descriptors only — payload bytes never cross a queue) together with each
+worker's lane of the global slide plan, then *gathers* per-batch fused
+partials and applies them **in plan order**.
+
+Why batch-striping rather than column shards: the committed order of
+float partials *is* the result for PageRank-class kernels, and that order
+is defined by the global plan's (batch, chunk) structure.  Striping the
+*global* plan's batches round-robin over workers (batch ``k`` → worker
+``k mod K``) keeps that structure K-invariant, so any shard count — and
+the single-process engine — produces bit-identical result arrays and
+identical simulated statistics.  A per-shard column partition would
+rebuild per-shard plans whose chunk boundaries depend on K, silently
+reassociating float accumulation.  The same argument makes worker-side
+snapshot execution safe: workers compute from the iteration-start state
+snapshot while the coordinator interleaves applies, which every
+process-capable kernel tolerates by construction (frozen read sets for
+PageRank/SpMV/CC/k-core; idempotent constant writes + deduplicated
+frontier for BFS).
+"""
+
+from __future__ import annotations
+
+import importlib
+import multiprocessing
+import os
+import queue
+import time
+import traceback
+from dataclasses import dataclass
+
+from repro.obs.trace import NULL_TRACER
+from repro.runtime.threads import (
+    SHARD_WORKER_PREFIX,
+    ShmArena,
+    attach_view,
+    stop_worker_processes,
+)
+
+
+class ShardRuntimeError(RuntimeError):
+    """A shard worker died or its batch failed; the runtime is broken."""
+
+
+@dataclass(frozen=True)
+class ShardWorkerConfig:
+    """The slice of :class:`~repro.engine.config.EngineConfig` a shard
+    worker needs to rebuild the coordinator's fetch chain exactly: the
+    simulated device array (identical modeled service times), the AIO
+    mode, device pacing, and the fused run-split factor."""
+
+    n_ssds: int
+    device_profile: object
+    stripe_bytes: int
+    io_mode: object
+    realize_io: bool
+    tiered_hot_fraction: "float | None"
+    n_hdds: int
+    run_split: int
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Round-robin partition of a global slide plan over K shard lanes.
+
+    The partitioner is deliberately *not* a grid partitioner: it stripes
+    the already-constructed global plan's batches (see the module
+    docstring for why that is the only K-invariant choice), so worker
+    ``w``'s lane is batches ``w, w+K, w+2K, ...`` — contiguous disk-order
+    segments interleaved across workers, which also balances the skewed
+    batch sizes the same way dynamic row scheduling balances rows.
+    """
+
+    shards: int
+
+    def assign(self, plan) -> "list[list[tuple[int, tuple[int, ...]]]]":
+        """Lanes of ``(global_batch_index, tile_positions)`` per worker."""
+        lanes: "list[list[tuple[int, tuple[int, ...]]]]" = [
+            [] for _ in range(self.shards)
+        ]
+        for k, batch in enumerate(plan.batches):
+            lanes[k % self.shards].append((k, tuple(batch)))
+        return lanes
+
+
+def build_device_array(cfg, graph):
+    """The simulated device array a config describes (engine + workers).
+
+    Factored out of the engine constructor so every shard worker builds a
+    bit-identical replica: modeled service time is a pure function of the
+    array geometry and the requested extents, which is what lets workers
+    compute their own batches' ``io_time`` on private lanes while the
+    coordinator commits those times to the one true clock in plan order.
+    ``cfg`` is anything with the :class:`ShardWorkerConfig` device fields
+    (:class:`~repro.engine.config.EngineConfig` included).
+    """
+    from repro.storage.raid import Raid0Array
+
+    ssd = Raid0Array(
+        n_devices=cfg.n_ssds,
+        profile=cfg.device_profile,
+        stripe_bytes=cfg.stripe_bytes,
+    )
+    if cfg.tiered_hot_fraction is None:
+        return ssd
+    from repro.storage.tiered import HDD_PROFILE, TieredArray
+
+    return TieredArray(
+        hot_bytes=int(graph.storage_bytes() * cfg.tiered_hot_fraction),
+        ssd=ssd,
+        hdd=Raid0Array(
+            n_devices=cfg.n_hdds,
+            profile=HDD_PROFILE,
+            stripe_bytes=cfg.stripe_bytes,
+        ),
+    )
+
+
+@dataclass
+class ShardPrepared:
+    """One gathered batch, ready to commit in plan order."""
+
+    batch_index: int
+    partials: list
+    io_time: float  # simulated service time, not yet charged to the clock
+    bytes_read: int
+    wall: float  # real seconds the worker spent (fetch + decode + kernel)
+    shard_id: int
+    pid: int
+    t0: float  # perf_counter span endpoints on the worker, for tracing
+    t1: float
+
+
+def _resolve_algorithm(module: str, qualname: str, cache: dict):
+    key = (module, qualname)
+    cls = cache.get(key)
+    if cls is None:
+        obj = importlib.import_module(module)
+        for part in qualname.split("."):
+            obj = getattr(obj, part)
+        cls = obj
+        cache[key] = cls
+    return cls
+
+
+def _shard_worker_main(shard_id, graph, wcfg, task_q, result_q) -> None:
+    """Worker-process loop: fetch, decode, and run kernels for one lane.
+
+    Runs in a ``spawn``-ed child that received the (picklable) tiled
+    graph once at startup and rebuilt the coordinator's fetch chain from
+    it.  Results are ``(batch_index, ok, payload, meta)`` tuples where
+    ``payload`` is ``(partials, io_time, bytes_read)`` and ``meta`` is
+    ``(shard_id, pid, t0, t1)`` on ``perf_counter`` — a system-wide
+    monotonic clock on Linux, so the coordinator can place worker spans
+    on the tracer's shared timeline.  The first message is a
+    ``("hello", shard_id, None, None)`` bootstrap marker.
+    """
+    from repro.engine.selective import merge_requests
+    from repro.format.tiles import concat_global_edges
+    from repro.storage.aio import AIOContext
+    from repro.storage.file import TileStore
+    from repro.util.timer import SimClock
+
+    store = TileStore.from_tiled_graph(graph)
+    aio = AIOContext(
+        store=store,
+        array=build_device_array(wcfg, graph),
+        clock=SimClock(),
+        mode=wcfg.io_mode,
+        realize_io=wcfg.realize_io,
+    )
+    pid = os.getpid()
+    result_q.put(("hello", shard_id, None, None))
+    seg_cache: "dict[str, object]" = {}
+    algo_cache: dict = {}
+    while True:
+        item = task_q.get()
+        if item is None:
+            break
+        _, module, qualname, params, state_descs, lane = item
+        cls = state = None
+        for batch_index, positions in lane:
+            t0 = time.perf_counter()
+            try:
+                if cls is None:
+                    cls = _resolve_algorithm(module, qualname, algo_cache)
+                    state = {
+                        k: attach_view(d, seg_cache)
+                        for k, d in state_descs.items()
+                    }
+                requests = merge_requests(list(positions), graph.start_edge)
+                events, io_t = aio.service(requests)
+                views, _ = graph.decode_batch(
+                    [(ev.tag, ev.data) for ev in events], with_tiles=False
+                )
+                views = graph.split_run_views(views, wcfg.run_split)
+                partials = [
+                    cls.kernel_partial(
+                        state, params, *concat_global_edges(chunk)
+                    )
+                    for chunk in cls.shard_views(views)
+                ]
+                result_q.put((
+                    batch_index,
+                    True,
+                    (partials, io_t, sum(r.size for r in requests)),
+                    (shard_id, pid, t0, time.perf_counter()),
+                ))
+            except BaseException as exc:
+                detail = (
+                    f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}"
+                )
+                result_q.put((
+                    batch_index,
+                    False,
+                    detail,
+                    (shard_id, pid, t0, time.perf_counter()),
+                ))
+    for seg in seg_cache.values():
+        try:
+            seg.close()
+        except BufferError:  # pragma: no cover - exiting anyway
+            pass
+
+
+class ShardGather:
+    """In-order delivery of one iteration's gathered batches.
+
+    Workers finish out of order (lanes interleave, batch sizes skew); the
+    coordinator must commit in global plan order, so arrivals are
+    buffered by batch index and released sequentially.  Raises
+    :class:`ShardRuntimeError` — after marking the runtime broken — if a
+    worker dies or a batch fails; the engine then tears the runtime down
+    and finishes the iteration on its own fetch path.
+    """
+
+    def __init__(self, runtime: "ShardRuntime", n_batches: int):
+        self._rt = runtime
+        self._n = n_batches
+        self._next = 0
+        self._buffered: "dict[int, tuple]" = {}
+
+    @property
+    def exhausted(self) -> bool:
+        return self._next >= self._n
+
+    def get(self) -> ShardPrepared:
+        """The next batch in plan order (blocks until its worker posts)."""
+        rt = self._rt
+        while self._next not in self._buffered:
+            try:
+                idx, ok, payload, meta = rt._result_q.get(timeout=rt._POLL)
+            except queue.Empty:
+                rt._check_alive()
+                continue
+            if idx == "hello":  # pragma: no cover - late bootstrap marker
+                continue
+            if not ok:
+                rt._broken = True
+                raise ShardRuntimeError(
+                    f"shard batch {idx} failed in worker "
+                    f"{meta[0]} (pid {meta[1]}):\n{payload}"
+                )
+            self._buffered[idx] = (payload, meta)
+        payload, meta = self._buffered.pop(self._next)
+        (partials, io_time, bytes_read), (shard_id, pid, t0, t1) = (
+            payload,
+            meta,
+        )
+        prep = ShardPrepared(
+            batch_index=self._next,
+            partials=partials,
+            io_time=io_time,
+            bytes_read=bytes_read,
+            wall=t1 - t0,
+            shard_id=shard_id,
+            pid=pid,
+            t0=t0,
+            t1=t1,
+        )
+        self._next += 1
+        tracer = rt._tracer
+        if tracer.enabled:
+            reg = tracer.registry
+            reg.counter("shard.batches").add(1)
+            reg.counter("shard.bytes_read").add(bytes_read)
+            reg.counter("shard.worker_seconds").add(prep.wall)
+            tracer.remote_span(
+                "shard.batch",
+                track=f"repro-shard-{shard_id}",
+                t0=t0,
+                t1=t1,
+                cat="shard",
+                batch=prep.batch_index,
+                pid=pid,
+            )
+        return prep
+
+    def close(self, timeout: float = 30.0) -> None:
+        """Drain undelivered results so the queue is clean for the next
+        iteration (no-op when fully consumed).  Marks the runtime broken
+        if the drain cannot complete — the engine will then tear it down
+        before trusting it again."""
+        outstanding = self._n - self._next - len(self._buffered)
+        self._buffered.clear()
+        self._next = self._n
+        if outstanding <= 0 or self._rt._broken or self._rt._closed:
+            return
+        deadline = time.monotonic() + timeout
+        while outstanding > 0:
+            try:
+                idx, *_ = self._rt._result_q.get(timeout=self._rt._POLL)
+            except queue.Empty:
+                try:
+                    self._rt._check_alive()
+                except ShardRuntimeError:
+                    return
+                if time.monotonic() > deadline:  # pragma: no cover
+                    self._rt._broken = True
+                    return
+                continue
+            if idx != "hello":
+                outstanding -= 1
+
+
+class ShardRuntime:
+    """K persistent shard workers plus the coordinator-side protocol.
+
+    Lifecycle mirrors :class:`~repro.runtime.threads.ProcessPool`:
+    ``spawn``-ed workers (fork is unsafe next to the engine's threads)
+    bootstrap with a hello message, live for the engine's lifetime, and
+    are torn down through the shared
+    :func:`~repro.runtime.threads.stop_worker_processes` helper; the
+    scatter arena is owned here (separate from the process backend's —
+    that one re-reserves per *batch*, this one must stay stable for a
+    whole iteration) and tracked by the ``LIVE_SHM_SEGMENTS`` oracle.
+    """
+
+    _POLL = 0.2
+
+    def __init__(self, graph, config, shards: int, tracer=NULL_TRACER):
+        self.shards = int(shards)
+        self._graph = graph
+        self._wcfg = ShardWorkerConfig(
+            n_ssds=config.n_ssds,
+            device_profile=config.device_profile,
+            stripe_bytes=config.stripe_bytes,
+            io_mode=config.io_mode,
+            realize_io=config.realize_io,
+            tiered_hot_fraction=config.tiered_hot_fraction,
+            n_hdds=config.n_hdds,
+            run_split=_engine_run_split(),
+        )
+        self._spec = ShardSpec(self.shards)
+        self._tracer = tracer
+        self._arena = ShmArena(
+            registry=tracer.registry if tracer.enabled else None
+        )
+        self._ctx = multiprocessing.get_context("spawn")
+        self._task_qs: list = []
+        self._result_q = None
+        self._procs: list = []
+        self._started = False
+        self._broken = False
+        self._closed = False
+
+    @property
+    def processes(self) -> list:
+        """Live worker process handles (tests kill these for chaos runs)."""
+        return list(self._procs)
+
+    @property
+    def broken(self) -> bool:
+        return self._broken
+
+    def start(self, timeout: float = 120.0) -> None:
+        """Spawn the workers and wait for every hello (idempotent).
+
+        The arena is probed *first* so an environment without shared
+        memory fails fast — before paying K interpreter+NumPy+graph
+        startups.  The generous timeout covers exactly those startups:
+        each worker unpickles the graph and rebuilds its store mapping.
+        """
+        if self._closed:
+            raise ShardRuntimeError("shard runtime is shut down")
+        if self._started:
+            return
+        self._arena.ensure(self._arena.ALIGN)  # probe shared memory now
+        self._result_q = self._ctx.Queue()
+        for i in range(self.shards):
+            task_q = self._ctx.Queue()
+            p = self._ctx.Process(
+                target=_shard_worker_main,
+                args=(i, self._graph, self._wcfg, task_q, self._result_q),
+                name=f"{SHARD_WORKER_PREFIX}-{i}",
+                daemon=True,
+            )
+            p.start()
+            self._task_qs.append(task_q)
+            self._procs.append(p)
+        self._started = True
+        deadline = time.monotonic() + timeout
+        hellos = 0
+        while hellos < self.shards:
+            try:
+                msg = self._result_q.get(timeout=self._POLL)
+            except queue.Empty:
+                if time.monotonic() > deadline:  # pragma: no cover
+                    self._broken = True
+                    raise ShardRuntimeError(
+                        f"shard workers failed to start within {timeout}s"
+                    )
+                self._check_alive()
+                continue
+            if msg[0] == "hello":
+                hellos += 1
+
+    def _check_alive(self) -> None:
+        dead = [p for p in self._procs if not p.is_alive()]
+        if dead:
+            self._broken = True
+            names = ", ".join(
+                f"{p.name} (pid {p.pid}, exit {p.exitcode})" for p in dead
+            )
+            raise ShardRuntimeError(f"shard worker died: {names}")
+
+    def begin_iteration(self, algorithm, plan) -> ShardGather:
+        """Scatter one iteration: frozen kernel state + per-worker lanes.
+
+        The arena reserve/put here is safe against the previous
+        iteration's workers because gathering *all* batches is a barrier:
+        no worker touches its stale state views after posting its last
+        result, and the engine never begins an iteration before the
+        previous gather completed (or the runtime was torn down).
+        """
+        if self._broken:
+            raise ShardRuntimeError("shard runtime is broken")
+        self.start()
+        cls = type(algorithm)
+        state = algorithm.kernel_state()
+        params = algorithm.kernel_params()
+        self._arena.reserve(ShmArena.layout_bytes(state.values()))
+        descs = {k: self._arena.put(v) for k, v in state.items()}
+        for task_q, lane in zip(self._task_qs, self._spec.assign(plan)):
+            task_q.put(
+                ("iter", cls.__module__, cls.__qualname__, params, descs, lane)
+            )
+        return ShardGather(self, plan.n_batches)
+
+    def shutdown(self) -> None:
+        """Stop and join every worker, release the arena (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._started:
+            stop_worker_processes(
+                self._procs,
+                self._task_qs,
+                [self._result_q] if self._result_q is not None else [],
+            )
+        self._procs = []
+        self._task_qs = []
+        self._arena.close()
+
+    def __enter__(self) -> "ShardRuntime":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.shutdown()
+
+    def __del__(self):  # pragma: no cover - GC backstop
+        try:
+            self.shutdown()
+        except Exception:
+            pass
+
+
+def _engine_run_split() -> int:
+    """The engine's fused run-split factor (late import: the engine
+    imports this module for :func:`build_device_array`)."""
+    from repro.engine.gstore import _RUN_SPLIT
+
+    return _RUN_SPLIT

@@ -51,6 +51,8 @@ WORKER_THREAD_PREFIX = "repro-worker"
 #: Process-name prefix for :class:`ProcessPool` workers, so tests can
 #: assert clean shutdown via ``multiprocessing.active_children()``.
 PROCESS_WORKER_PREFIX = "repro-procworker"
+#: Process-name prefix for shard workers (:mod:`repro.runtime.shard`).
+SHARD_WORKER_PREFIX = "repro-shard"
 
 #: The execution backends the engine can run fused kernels on.
 BACKENDS = ("serial", "thread", "process")
@@ -117,8 +119,36 @@ def resolve_backend(backend: "str | None") -> str:
     return b
 
 
+def default_shards() -> int:
+    """Shard count used when the config does not pick one.
+
+    ``REPRO_SHARDS`` overrides the single-coordinator default of 1,
+    which is how CI runs the whole tier-1 suite sharded without touching
+    any test.
+    """
+    env = os.environ.get("REPRO_SHARDS")
+    if env:
+        s = int(env)
+        if s < 1:
+            raise ValueError(f"REPRO_SHARDS must be >= 1, got {env!r}")
+        return s
+    return 1
+
+
+def resolve_shards(shards: "int | None") -> int:
+    """Resolve a shard-count setting (``None`` means environment default)."""
+    if shards is None:
+        return default_shards()
+    s = int(shards)
+    if s < 1:
+        raise ValueError(f"shards must be >= 1 (or None), got {shards!r}")
+    return s
+
+
 def execution_fingerprint(
-    workers: "int | str" = "auto", backend: "str | None" = None
+    workers: "int | str" = "auto",
+    backend: "str | None" = None,
+    shards: "int | None" = None,
 ) -> "dict[str, object]":
     """Resolved execution environment for benchmark machine blocks.
 
@@ -130,7 +160,47 @@ def execution_fingerprint(
         "cpus_available": available_cpus(),
         "workers_resolved": resolve_workers(workers),
         "backend_resolved": resolve_backend(backend),
+        "shards_resolved": resolve_shards(shards),
     }
+
+
+def stop_worker_processes(
+    procs: "Sequence[multiprocessing.process.BaseProcess]",
+    task_queues: "Sequence",
+    result_queues: "Sequence" = (),
+    timeout: float = 5.0,
+) -> None:
+    """Shared teardown for process-backed pools (idempotent by design).
+
+    Both :class:`ProcessPool` and the shard runtime
+    (:mod:`repro.runtime.shard`) follow the same lifecycle: send one
+    ``None`` shutdown sentinel per worker (round-robin over the task
+    queues, so pools with one shared queue and runtimes with one queue
+    per worker both drain correctly), join with a timeout, terminate
+    stragglers, then close every queue with ``cancel_join_thread`` so an
+    unread result can never block interpreter exit.  Shared-memory
+    segments are *not* released here — arenas own their segments and the
+    ``LIVE_SHM_SEGMENTS`` leak oracle stays exact because every segment
+    release still goes through :meth:`ShmArena.close`.
+    """
+    if procs and task_queues:
+        try:
+            for i in range(len(procs)):
+                task_queues[i % len(task_queues)].put(None)
+        except Exception:  # pragma: no cover - queue already broken
+            pass
+        for p in procs:
+            p.join(timeout=timeout)
+        for p in procs:
+            if p.is_alive():  # pragma: no cover - stuck worker
+                p.terminate()
+                p.join(timeout=timeout)
+    for q_ in (*task_queues, *result_queues):
+        try:
+            q_.close()
+            q_.cancel_join_thread()
+        except Exception:  # pragma: no cover
+            pass
 
 
 class WorkerPool:
@@ -653,23 +723,7 @@ class ProcessPool:
         self._closed = True
         if not self._started:
             return
-        try:
-            for _ in self._procs:
-                self._tasks.put(None)
-        except Exception:  # pragma: no cover - queue already broken
-            pass
-        for p in self._procs:
-            p.join(timeout=5.0)
-        for p in self._procs:
-            if p.is_alive():  # pragma: no cover - stuck worker
-                p.terminate()
-                p.join(timeout=5.0)
-        for q_ in (self._tasks, self._results):
-            try:
-                q_.close()
-                q_.cancel_join_thread()
-            except Exception:  # pragma: no cover
-                pass
+        stop_worker_processes(self._procs, [self._tasks], [self._results])
         self._procs = []
 
     def __enter__(self) -> "ProcessPool":

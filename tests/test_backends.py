@@ -52,9 +52,14 @@ def graph() -> TiledGraph:
     return TiledGraph.from_edge_list(el, tile_bits=6, group_q=4)
 
 
-def _run(tg, factory, backend, workers, depth=2, trace=False, selective=True):
+def _run(
+    tg, factory, backend, workers,
+    depth=2, trace=False, selective=True, shards=None,
+):
     # Tiny budget: several slide batches per iteration plus cache
     # pressure, so rewind, evictions, and multi-batch dispatch all run.
+    # shards=None resolves through REPRO_SHARDS, so the equivalence
+    # matrix also exercises shard-parallel execution when CI sets it.
     cfg = EngineConfig(
         memory_bytes=24 * 1024,
         segment_bytes=4 * 1024,
@@ -63,6 +68,7 @@ def _run(tg, factory, backend, workers, depth=2, trace=False, selective=True):
         prefetch_depth=depth,
         trace=trace,
         selective=selective,
+        shards=shards,
     )
     with GStoreEngine(tg, cfg) as engine:
         algo = factory()
@@ -172,9 +178,10 @@ def test_selective_matrix(graph, name):
 
 def test_process_backend_records_counters(graph):
     """A traced process run exposes the backend gauge, shm traffic, and
-    per-worker kernel spans."""
+    per-worker kernel spans.  Pinned to shards=1: this test asserts the
+    process *backend*'s internals, which shard mode bypasses."""
     _, stats, live = _run(
-        graph, ALGOS["pagerank"], "process", 2, trace=True
+        graph, ALGOS["pagerank"], "process", 2, trace=True, shards=1
     )
     assert live == "process"
     counters = stats.extra["counters"]
@@ -240,11 +247,12 @@ def test_fallback_when_shared_memory_unavailable(graph, monkeypatch):
 def test_worker_crash_degrades_and_stays_correct(graph):
     """SIGKILL every worker process mid-engine: the next batch raises
     inside the pool, the engine recomputes it on threads, and the final
-    result is still bit-identical — with nothing leaked."""
-    ref_result, _, _ = _run(graph, ALGOS["pagerank"], "serial", 1)
+    result is still bit-identical — with nothing leaked.  Pinned to
+    shards=1 so the batches actually flow through the process pool."""
+    ref_result, _, _ = _run(graph, ALGOS["pagerank"], "serial", 1, shards=1)
     cfg = EngineConfig(
         memory_bytes=24 * 1024, segment_bytes=4 * 1024,
-        backend="process", workers=2,
+        backend="process", workers=2, shards=1,
     )
     with GStoreEngine(graph, cfg) as engine:
         assert engine.warm_backend() == "process"
@@ -262,7 +270,7 @@ def test_worker_crash_degrades_and_stays_correct(graph):
 def test_close_tears_down_process_runtime(graph):
     cfg = EngineConfig(
         memory_bytes=24 * 1024, segment_bytes=4 * 1024,
-        backend="process", workers=2,
+        backend="process", workers=2, shards=1,
     )
     engine = GStoreEngine(graph, cfg)
     assert engine.warm_backend() == "process"
@@ -271,6 +279,161 @@ def test_close_tears_down_process_runtime(graph):
     assert LIVE_SHM_SEGMENTS  # arena is live while the engine is
     engine.close()
     assert engine._ppool is None and engine._arena is None
+    assert not any(p.is_alive() for p in procs)
+    assert not LIVE_SHM_SEGMENTS
+    engine.close()  # idempotent
+
+
+# --------------------------------------------------------------------- #
+# Shard-parallel execution (coordinator + persistent shard workers)
+# --------------------------------------------------------------------- #
+
+#: The shard-capable algorithm set: fused + process-kernel contract.
+#: BFS runs direction-optimised — the push/pull switch must survive
+#: having its batches computed on worker snapshots.
+SHARD_ALGOS = {
+    "bfs": lambda: BFS(root=0, direction_optimizing=True),
+    "pagerank": lambda: PageRank(max_iterations=15, tolerance=1e-10),
+    "cc": lambda: ConnectedComponents(),
+    "kcore": lambda: KCore(k=4),
+}
+
+
+@pytest.mark.parametrize("selective", [False, True])
+def test_shard_matrix(graph, selective):
+    """Shard-parallel execution changes nothing observable but wall time:
+    for every shard-capable algorithm, shards {2, 4} x selective {on, off}
+    are sha256-identical to the single-process serial run, with the full
+    simulated timeline and SCR stats matching field for field.  One
+    engine per shard count is reused across all four algorithms — the
+    persistent workers serve heterogeneous kernels back to back."""
+    refs = {}
+    for name, factory in SHARD_ALGOS.items():
+        result, stats, _ = _run(
+            graph, factory, "serial", 1,
+            depth=0, selective=selective, shards=1,
+        )
+        refs[name] = (_sha(result), stats)
+    for shards in (2, 4):
+        cfg = EngineConfig(
+            memory_bytes=24 * 1024,
+            segment_bytes=4 * 1024,
+            backend="serial",
+            workers=1,
+            prefetch_depth=2,
+            selective=selective,
+            shards=shards,
+        )
+        with GStoreEngine(graph, cfg) as engine:
+            for name, factory in SHARD_ALGOS.items():
+                algo = factory()
+                stats = engine.run(algo)
+                key = (name, shards, selective)
+                ref_hash, ref_stats = refs[name]
+                assert _sha(algo.result()) == ref_hash, key
+                assert stats.edges_processed == ref_stats.edges_processed, key
+                assert len(stats.iterations) == len(ref_stats.iterations)
+                assert stats.sim_elapsed == pytest.approx(
+                    ref_stats.sim_elapsed
+                ), key
+                assert stats.io_time == pytest.approx(ref_stats.io_time), key
+                assert stats.bytes_read == ref_stats.bytes_read, key
+                assert stats.tiles_fetched == ref_stats.tiles_fetched, key
+                assert stats.bytes_skipped == ref_stats.bytes_skipped, key
+                assert stats.extra["scr"] == ref_stats.extra["scr"], key
+                ex = stats.extra["execution"]
+                assert ex["shards"] == shards, key
+                assert ex["shards_resolved"] == shards, key
+    assert not LIVE_SHM_SEGMENTS
+
+
+def test_shard_counters_and_worker_tracks(graph):
+    """A traced sharded run exposes the shard counters and places each
+    worker's batch spans on its own trace track."""
+    cfg = EngineConfig(
+        memory_bytes=24 * 1024, segment_bytes=4 * 1024,
+        backend="serial", workers=1, shards=2, trace=True,
+    )
+    with GStoreEngine(graph, cfg) as engine:
+        algo = SHARD_ALGOS["pagerank"]()
+        stats = engine.run(algo)
+        counters = stats.extra["counters"]
+        assert counters["shard.batches"] > 0
+        assert counters["shard.bytes_read"] == stats.bytes_read
+        assert counters["shard.worker_seconds"] > 0
+        assert "shard.fallbacks" not in counters
+        tracks = {
+            r.track
+            for r in engine.tracer.records()
+            if r.track.startswith("repro-shard-")
+        }
+        assert tracks == {"repro-shard-0", "repro-shard-1"}
+    assert not LIVE_SHM_SEGMENTS
+
+
+def test_shard_gating_unsupported_algorithm(graph):
+    """An algorithm without the process-kernel contract (SSSP) silently
+    runs single-process even when shards are configured."""
+    factory = lambda: SSSP(root=0)  # noqa: E731
+    ref_result, _, _ = _run(graph, factory, "serial", 1, shards=1)
+    result, stats, _ = _run(graph, factory, "serial", 1, shards=2)
+    assert np.array_equal(result, ref_result)
+    ex = stats.extra["execution"]
+    assert ex["shards"] == 2
+    assert ex["shards_resolved"] == 1
+    assert not LIVE_SHM_SEGMENTS
+
+
+def test_env_default_shards(graph, monkeypatch):
+    """shards=None resolves through REPRO_SHARDS — how CI runs the whole
+    suite sharded without touching any test."""
+    monkeypatch.setenv("REPRO_SHARDS", "2")
+    cfg = EngineConfig(memory_bytes=24 * 1024, segment_bytes=4 * 1024)
+    with GStoreEngine(graph, cfg) as engine:
+        assert engine.shards == 2
+    monkeypatch.setenv("REPRO_SHARDS", "0")
+    with pytest.raises(ValueError):
+        GStoreEngine(graph, cfg)
+
+
+def test_config_rejects_bad_shards():
+    with pytest.raises(StorageError):
+        EngineConfig(shards=0)
+
+
+def test_shard_fallback_when_shared_memory_unavailable(graph, monkeypatch):
+    """No /dev/shm: the scatter-arena probe fails *before* any worker is
+    spawned and the run completes single-process, bit-identical."""
+
+    def no_shm(*a, **k):
+        raise OSError("shared memory unavailable")
+
+    ref_result, _, _ = _run(graph, SHARD_ALGOS["bfs"], "serial", 1, shards=1)
+    monkeypatch.setattr(
+        "multiprocessing.shared_memory.SharedMemory", no_shm
+    )
+    result, stats, _ = _run(graph, SHARD_ALGOS["bfs"], "serial", 1, shards=2)
+    assert np.array_equal(result, ref_result)
+    ex = stats.extra["execution"]
+    assert ex["shards"] == 2
+    assert ex["shards_resolved"] == 1
+    assert not LIVE_SHM_SEGMENTS
+
+
+def test_close_tears_down_shard_runtime(graph):
+    cfg = EngineConfig(
+        memory_bytes=24 * 1024, segment_bytes=4 * 1024,
+        backend="serial", workers=1, shards=2,
+    )
+    engine = GStoreEngine(graph, cfg)
+    engine.warm_backend()
+    rt = engine._shard_rt
+    assert rt is not None and not rt.broken
+    procs = rt.processes
+    assert len(procs) == 2 and all(p.is_alive() for p in procs)
+    assert LIVE_SHM_SEGMENTS  # the scatter arena is live with the engine
+    engine.close()
+    assert engine._shard_rt is None
     assert not any(p.is_alive() for p in procs)
     assert not LIVE_SHM_SEGMENTS
     engine.close()  # idempotent

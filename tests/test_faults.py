@@ -287,6 +287,42 @@ class TestChaosRuns:
         assert slow.sim_elapsed > clean.sim_elapsed
         assert (algo.depth == 0).sum() == 1
 
+    def test_shard_worker_sigkill_degrades_and_stays_correct(
+        self, tiled_undirected
+    ):
+        # SIGKILL one shard worker on a warm two-shard engine: the gather
+        # detects the death, tears the shard runtime down, finishes the
+        # iteration on the coordinator's own fetch path, and the run is
+        # still bit-identical — on the same simulated clock, with no
+        # worker process or shared-memory segment leaked.
+        import signal
+
+        from repro.runtime.threads import LIVE_SHM_SEGMENTS
+
+        clean = PageRank(max_iterations=10, tolerance=1e-12)
+        ref_stats = GStoreEngine(tiled_undirected, _cfg(shards=1)).run(clean)
+
+        algo = PageRank(max_iterations=10, tolerance=1e-12)
+        eng = GStoreEngine(tiled_undirected, _cfg(shards=2))
+        try:
+            eng.warm_backend()
+            rt = eng._shard_rt
+            assert rt is not None and len(rt.processes) == 2
+            victim = rt.processes[0]
+            os.kill(victim.pid, signal.SIGKILL)
+            victim.join(timeout=10)
+            stats = eng.run(algo)
+        finally:
+            eng.close()
+        np.testing.assert_array_equal(clean.rank, algo.rank)
+        assert eng._shard_rt is None  # torn down by the fallback
+        assert eng._shard_failed
+        assert stats.extra["execution"]["shards"] == 2
+        assert stats.extra["execution"]["shards_resolved"] == 1
+        assert stats.sim_elapsed == pytest.approx(ref_stats.sim_elapsed)
+        assert stats.bytes_read == ref_stats.bytes_read
+        assert not LIVE_SHM_SEGMENTS
+
 
 class TestDegradedMode:
     def test_prefetch_falls_back_to_serial(self, tiled_undirected):

@@ -54,11 +54,15 @@ def graph() -> TiledGraph:
 
 
 def _traced_run(tg, factory, depth, **cfg_kw):
+    # shards pinned to 1: these tests assert the coordinator's own
+    # fetch/decode/prefetch span structure, which shard-parallel runs
+    # move onto worker tracks (covered by tests/test_backends.py).
     cfg = EngineConfig(
         memory_bytes=24 * 1024,
         segment_bytes=4 * 1024,
         prefetch_depth=depth,
         trace=True,
+        shards=1,
         **cfg_kw,
     )
     with GStoreEngine(tg, cfg) as engine:
@@ -432,9 +436,12 @@ class TestEngineTracing:
 
 
 class TestTraceCLI:
-    def test_trace_chrome_export(self, tmp_path, capsys):
+    def test_trace_chrome_export(self, tmp_path, capsys, monkeypatch):
         from repro.cli import main
 
+        # The asserted span names are the coordinator's own fetch chain;
+        # a REPRO_SHARDS environment would move them onto worker tracks.
+        monkeypatch.delenv("REPRO_SHARDS", raising=False)
         out = str(tmp_path / "trace.json")
         rc = main(["trace", "bfs", "--rmat-scale", "9", "--depth", "2",
                    "--out", out])

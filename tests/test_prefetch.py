@@ -47,12 +47,16 @@ def graph() -> TiledGraph:
 def _run(tg, factory, depth, fused=True, workers=1):
     # Tiny budget: several slide batches per iteration plus cache pressure,
     # so rewind, mid-iteration evictions, and multi-batch prefetch all run.
+    # shards is pinned to 1 module-wide: this file asserts the prefetch
+    # *pipeline*'s internals, which shard-parallel execution bypasses
+    # (shard/prefetch composition is covered by tests/test_backends.py).
     cfg = EngineConfig(
         memory_bytes=24 * 1024,
         segment_bytes=4 * 1024,
         fused=fused,
         workers=workers,
         prefetch_depth=depth,
+        shards=1,
     )
     with GStoreEngine(tg, cfg) as engine:
         algo = factory()
@@ -142,6 +146,7 @@ def test_algorithm_exception_shuts_prefetcher_down(graph, depth):
         memory_bytes=24 * 1024,
         segment_bytes=4 * 1024,
         prefetch_depth=depth,
+        shards=1,
     )
     engine = GStoreEngine(graph, cfg)
     with pytest.raises(RuntimeError, match="exploded"):
@@ -155,7 +160,8 @@ def test_io_error_propagates_and_cleans_up(graph):
     """A store-read failure inside a prefetch job surfaces on the engine
     thread and still tears the pipeline down."""
     cfg = EngineConfig(
-        memory_bytes=24 * 1024, segment_bytes=4 * 1024, prefetch_depth=2
+        memory_bytes=24 * 1024, segment_bytes=4 * 1024, prefetch_depth=2,
+        shards=1,
     )
     engine = GStoreEngine(graph, cfg)
     original = engine.store.read
@@ -180,6 +186,7 @@ def test_realize_io_matches_unrealized_results(graph):
         segment_bytes=4 * 1024,
         prefetch_depth=2,
         realize_io=True,
+        shards=1,
     )
     with GStoreEngine(graph, cfg) as engine:
         algo = BFS(root=0)

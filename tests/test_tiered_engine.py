@@ -52,7 +52,13 @@ class TestBehaviour:
         assert b.io_time > a.io_time
 
     def test_all_hot_equals_pure_ssd_bytes(self, tiled_undirected):
-        eng = GStoreEngine(tiled_undirected, _cfg(tiered_hot_fraction=1.0))
+        # shards=1: this test asserts the coordinator's own device-array
+        # byte counters, and shard-parallel execution fetches on worker-
+        # private device replicas instead (composition is covered by
+        # tests/test_backends.py).
+        eng = GStoreEngine(
+            tiled_undirected, _cfg(tiered_hot_fraction=1.0, shards=1)
+        )
         stats = eng.run(PageRank(max_iterations=2, tolerance=0.0))
         assert eng.array.hdd.bytes_read == 0
         assert eng.array.ssd.bytes_read == stats.bytes_read
