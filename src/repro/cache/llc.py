@@ -10,6 +10,7 @@ replacement, 64-byte lines, sized like the evaluation machine's 16 MB LLC
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 import numpy as np
@@ -42,6 +43,15 @@ class SetAssocCache:
     ``access(addresses)`` streams an address trace through the cache,
     vectorising the line/set arithmetic and walking sets in Python (the
     traces the experiments feed are modest after sampling).
+
+    Concurrency contract (docs/SERVING.md): the per-set LRU state is
+    guarded by an internal lock, so one *shared* instance may be driven
+    from several threads without corrupting its bookkeeping — but the
+    interleaved trace is then non-deterministic, so concurrent engine
+    entry points (the query service) give each query its *own* cache
+    instance and registry instead; pass ``registry=`` to :meth:`access`
+    to route one call's ``llc.*`` counters to a per-query registry
+    rather than the instance-level ``counters``.
     """
 
     def __init__(
@@ -68,44 +78,57 @@ class SetAssocCache:
         #: Optional :class:`~repro.obs.counters.MetricsRegistry` receiving
         #: the ``llc.*`` counters alongside :attr:`stats`.
         self.counters = counters
-        # Per-set LRU list of tags, most-recent last.
+        # Per-set LRU list of tags, most-recent last.  Guarded by _lock:
+        # LRU mutation is a read-modify-write the GIL does not make
+        # atomic across the Python-level steps.
         self._sets: "list[list[int]]" = [[] for _ in range(self.n_sets)]
+        self._lock = threading.Lock()
 
     def reset(self) -> None:
-        self.stats = CacheStats()
-        self._sets = [[] for _ in range(self.n_sets)]
+        with self._lock:
+            self.stats = CacheStats()
+            self._sets = [[] for _ in range(self.n_sets)]
 
-    def access(self, addresses: np.ndarray) -> CacheStats:
-        """Stream a byte-address trace; returns stats for *this* call."""
+    def access(
+        self, addresses: np.ndarray, registry: "object | None" = None
+    ) -> CacheStats:
+        """Stream a byte-address trace; returns stats for *this* call.
+
+        ``registry`` overrides the instance-level ``counters`` sink for
+        this call only — the per-query counter-isolation hook for
+        concurrent callers sharing one cache instance.
+        """
         addresses = np.asarray(addresses, dtype=np.int64)
         lines = addresses // self.line_bytes
         sets = (lines % self.n_sets).astype(np.int64)
         tags = (lines // self.n_sets).astype(np.int64)
         local = CacheStats()
-        sets_list = self._sets
         ways = self.ways
         hits = 0
         misses = 0
-        for s, tag in zip(sets.tolist(), tags.tolist()):
-            lru = sets_list[s]
-            try:
-                lru.remove(tag)
-                lru.append(tag)
-                hits += 1
-            except ValueError:
-                misses += 1
-                if len(lru) >= ways:
-                    lru.pop(0)
-                lru.append(tag)
-        n = int(addresses.shape[0])
-        local.operations = n
-        local.hits = hits
-        local.misses = misses
-        self.stats.merge(local)
-        if self.counters is not None:
-            self.counters.counter("llc.operations").add(n)
-            self.counters.counter("llc.hits").add(hits)
-            self.counters.counter("llc.misses").add(misses)
+        with self._lock:
+            sets_list = self._sets
+            for s, tag in zip(sets.tolist(), tags.tolist()):
+                lru = sets_list[s]
+                try:
+                    lru.remove(tag)
+                    lru.append(tag)
+                    hits += 1
+                except ValueError:
+                    misses += 1
+                    if len(lru) >= ways:
+                        lru.pop(0)
+                    lru.append(tag)
+            n = int(addresses.shape[0])
+            local.operations = n
+            local.hits = hits
+            local.misses = misses
+            self.stats.merge(local)
+        sink = registry if registry is not None else self.counters
+        if sink is not None:
+            sink.counter("llc.operations").add(n)
+            sink.counter("llc.hits").add(hits)
+            sink.counter("llc.misses").add(misses)
         return local
 
     def contains(self, address: int) -> bool:
@@ -113,7 +136,8 @@ class SetAssocCache:
         line = address // self.line_bytes
         s = line % self.n_sets
         tag = line // self.n_sets
-        return tag in self._sets[s]
+        with self._lock:
+            return tag in self._sets[s]
 
     def __repr__(self) -> str:
         return (

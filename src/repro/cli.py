@@ -17,6 +17,9 @@ Commands
     for a registered dataset.
 ``bench EXPERIMENT``
     Regenerate one paper table/figure and print it.
+``serve NAME``
+    Start the concurrent query service (docs/SERVING.md) over a dataset
+    (or ``--rmat-scale N`` reference graph) on a local HTTP port.
 """
 
 from __future__ import annotations
@@ -232,6 +235,55 @@ def cmd_fsck(args: argparse.Namespace) -> int:
     return 0 if rep.ok else 1
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.bench.harness import graphs, scaled_config
+    from repro.engine.gstore import GStoreEngine
+    from repro.serve import QueryService, ServiceConfig
+    from repro.serve.http import make_server
+
+    if args.rmat_scale is not None:
+        from repro.format.tiles import TiledGraph
+        from repro.graphgen.rmat import rmat
+
+        el = rmat(args.rmat_scale, edge_factor=16, seed=5)
+        tg = TiledGraph.from_edge_list(el, tile_bits=10, group_q=8)
+    elif args.name is not None:
+        tg = graphs().tiled(args.name, tier=args.tier)
+    else:
+        raise SystemExit("serve needs a dataset NAME or --rmat-scale")
+    cfg = scaled_config(tg, memory_fraction=args.memory_fraction)
+    engine = GStoreEngine(tg, cfg)
+    service = QueryService(
+        engine,
+        ServiceConfig(
+            workers=args.workers,
+            queue_depth=args.queue_depth,
+            cache_entries=args.cache_entries,
+            default_deadline=args.deadline,
+            trace_queries=args.trace_queries,
+        ),
+    )
+    server = make_server(service, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    print(
+        f"serving {tg.info.name} ({tg.n_vertices:,} vertices) "
+        f"on http://{host}:{port} — "
+        f"{args.workers} workers, queue depth {args.queue_depth}"
+    )
+    print("endpoints: GET /healthz, GET /stats, POST /query "
+          "(see docs/SERVING.md)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()
+        engine.close()
+    return 0
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     fn = _experiment_fn(args.experiment)
     table, _ = fn()
@@ -336,6 +388,32 @@ def build_parser() -> argparse.ArgumentParser:
     pf.add_argument("--shallow", action="store_true",
                     help="metadata checks only (skip payload walk)")
     pf.set_defaults(fn=cmd_fsck)
+
+    ps = sub.add_parser(
+        "serve", help="start the concurrent query service over HTTP"
+    )
+    ps.add_argument("name", nargs="?", default=None)
+    ps.add_argument("--tier", default=None, choices=["tiny", "small", "large"])
+    ps.add_argument("--rmat-scale", type=int, default=None,
+                    help="serve the 2^N R-MAT reference graph instead of a "
+                         "registered dataset")
+    ps.add_argument("--host", default="127.0.0.1")
+    ps.add_argument("--port", type=int, default=8080)
+    ps.add_argument("--workers", type=int, default=4,
+                    help="query worker threads")
+    ps.add_argument("--queue-depth", type=int, default=16,
+                    help="admission bound: max queries admitted at once; "
+                         "beyond it submissions fail fast (HTTP 429)")
+    ps.add_argument("--cache-entries", type=int, default=128,
+                    help="LRU result-cache entries (0 disables)")
+    ps.add_argument("--deadline", type=float, default=None,
+                    help="default per-query deadline in seconds "
+                         "(HTTP 504 when exceeded)")
+    ps.add_argument("--memory-fraction", type=float, default=0.25)
+    ps.add_argument("--trace-queries", action="store_true",
+                    help="give each query a tracing private context and "
+                         "attach its counter snapshot to the result")
+    ps.set_defaults(fn=cmd_serve)
 
     pb = sub.add_parser("bench", help="regenerate one paper table/figure")
     pb.add_argument("experiment", choices=_EXPERIMENTS)

@@ -1,0 +1,168 @@
+"""Per-run execution context: the state that makes the engine re-entrant.
+
+Historically every piece of a run's mutable state — the simulated clock,
+the AIO context, the tracer and its counter registry, the wall-overlap
+accounting, the rewind memo — lived as attributes on
+:class:`~repro.engine.gstore.GStoreEngine`, so two concurrent ``run()``
+calls on one engine would corrupt each other's clocks and statistics.
+The serving layer (docs/SERVING.md) multiplexes many small traversals
+over one shared read-only engine, which forces the split this module
+provides: a :class:`RunContext` owns everything one run mutates, while
+the engine keeps only what is genuinely shared and immutable during a
+run (the graph, the tile store, the configuration, the worker pools).
+
+Two kinds of context exist:
+
+* the **engine context** — built by the engine itself when ``run()`` is
+  called without one.  It aliases the engine's own singletons
+  (``engine.clock``, ``engine.tracer``, ``engine.aio``), so the classic
+  batch path behaves exactly as before, including shard-parallel and
+  process-backend execution.
+* a **private context** — built by
+  :meth:`~repro.engine.gstore.GStoreEngine.query_context`.  It carries a
+  fresh :class:`~repro.util.timer.SimClock`, a fresh
+  :class:`~repro.storage.aio.AIOContext` over the *shared* store, and
+  (when tracing) a private :class:`~repro.obs.trace.Tracer` with its own
+  :class:`~repro.obs.counters.MetricsRegistry` — the per-query stats
+  isolation contract: concurrent queries never write to a shared
+  registry, so no counter or clock can be corrupted across queries.
+  Private runs execute single-process (no shard scatter, no process
+  pool, kernels inline on the calling thread) — cross-query concurrency
+  replaces intra-query parallelism.
+
+A private context also carries the cooperative cancellation state for
+the serving layer's per-query deadlines: the engine calls
+:meth:`RunContext.check_cancelled` at every iteration boundary and a
+missed deadline raises the typed
+:class:`~repro.errors.DeadlineError` without leaving threads or
+undelivered batches behind.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import DeadlineError
+from repro.obs.trace import NULL_TRACER
+from repro.runtime.pipeline import WallOverlap
+from repro.storage.aio import AIOContext
+from repro.util.timer import SimClock
+
+
+@dataclass
+class RunContext:
+    """Everything one engine run mutates, bundled.
+
+    The engine threads an instance of this through every per-run code
+    path (iteration driver, batch preparation, rewind decode, kernel
+    dispatch), so concurrent runs with distinct contexts never touch the
+    same mutable state — the re-entrancy contract of the serving layer.
+    """
+
+    #: Simulated clock this run charges I/O service time to.
+    clock: SimClock
+    #: Span tracer + counter registry for this run (``NULL_TRACER`` when
+    #: tracing is off — then counters are swallowed at zero cost).
+    tracer: object
+    #: AIO context binding the shared store to this run's clock/tracer.
+    aio: AIOContext
+    #: Real-clock overlap accounting for this run.
+    wall_overlap: WallOverlap = field(default_factory=WallOverlap)
+    #: True for per-query contexts from ``query_context()``: the run must
+    #: not touch engine-level mutable state and executes single-process.
+    private: bool = False
+    #: Absolute ``time.monotonic()`` deadline; ``None`` = no deadline.
+    deadline: "float | None" = None
+    #: Optional external cancellation flag, checked with the deadline.
+    cancel_event: "threading.Event | None" = None
+    #: Set when the prefetch pipeline died and the run degraded to
+    #: serial engine-thread I/O for its remainder.
+    degraded: bool = False
+    #: Whether this run executes shard-parallel (engine context only).
+    shard_active: bool = False
+    # Memoized rewind batch: all-active algorithms rewind the same tile
+    # set every iteration, so the merged run-level views are built once.
+    rewind_key: "list[int] | None" = None
+    rewind_merged: "list | None" = None
+
+    def check_cancelled(self) -> None:
+        """Raise :class:`DeadlineError` if this run should stop.
+
+        Called by the engine at iteration boundaries (the cooperative
+        cancellation points — no thread is interrupted mid-kernel, no
+        prefetcher or shard gather is live when it fires).
+        """
+        if self.cancel_event is not None and self.cancel_event.is_set():
+            raise DeadlineError("query cancelled")
+        if self.deadline is not None and time.monotonic() > self.deadline:
+            raise DeadlineError(
+                "query deadline exceeded",
+                context={"deadline_monotonic": self.deadline},
+            )
+
+    @property
+    def remaining(self) -> "float | None":
+        """Seconds until the deadline (``None`` when no deadline is set)."""
+        if self.deadline is None:
+            return None
+        return self.deadline - time.monotonic()
+
+
+def make_private_context(
+    engine,
+    *,
+    trace: bool = False,
+    deadline: "float | None" = None,
+    cancel_event: "threading.Event | None" = None,
+) -> RunContext:
+    """Build a private (re-entrant) context over ``engine``'s graph.
+
+    Shares the engine's immutable substrate — the tile store's mmap, the
+    decoded-graph metadata, the configuration — but owns a fresh clock,
+    a fresh simulated device array, and (when ``trace``) a private
+    tracer/registry.  ``deadline`` is *relative* seconds from now.
+    """
+    from repro.errors import AlgorithmError
+    from repro.obs import Tracer
+    from repro.runtime.shard import build_device_array
+
+    if engine.config.faults is not None:
+        raise AlgorithmError(
+            "private run contexts do not support fault injection: fault "
+            "ordinals are assigned in global plan order on the engine's "
+            "shared AIO context"
+        )
+    clock = SimClock()
+    tracer = Tracer(clock=clock) if trace else NULL_TRACER
+    array = build_device_array(engine.config, engine.graph)
+    if tracer.enabled:
+        reg = tracer.registry
+        stack = [array]
+        while stack:
+            arr = stack.pop()
+            for dev in getattr(arr, "devices", ()):
+                dev.counters = reg
+            for sub in ("ssd", "hdd"):
+                nxt = getattr(arr, sub, None)
+                if nxt is not None:
+                    stack.append(nxt)
+    aio = AIOContext(
+        store=engine.store,
+        array=array,
+        clock=clock,
+        mode=engine.config.io_mode,
+        realize_io=engine.config.realize_io,
+        tracer=tracer,
+        retry=engine.config.retry,
+    )
+    abs_deadline = None if deadline is None else time.monotonic() + deadline
+    return RunContext(
+        clock=clock,
+        tracer=tracer,
+        aio=aio,
+        private=True,
+        deadline=abs_deadline,
+        cancel_event=cancel_event,
+    )

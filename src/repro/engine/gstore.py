@@ -32,6 +32,13 @@ fetch-then-compute ablation baseline.
 
 All kernels run for real over real tile bytes; I/O time comes from the
 simulated SSD array and compute time from the cost model (see DESIGN.md).
+
+Every piece of state a run mutates lives in a
+:class:`~repro.engine.context.RunContext`; ``run()`` without one uses
+the engine's own context (the classic batch path), while
+:meth:`GStoreEngine.query_context` builds a private context so many
+runs can execute concurrently over one engine — the serving layer's
+foundation (docs/SERVING.md).
 """
 
 from __future__ import annotations
@@ -44,6 +51,7 @@ import numpy as np
 from repro.algorithms.base import TileAlgorithm
 from repro.engine.checkpoint import CheckpointManager
 from repro.engine.config import EngineConfig
+from repro.engine.context import RunContext, make_private_context
 from repro.engine.selective import (
     dense_positions,
     merge_requests,
@@ -179,9 +187,6 @@ class GStoreEngine:
             tracer=self.tracer, injector=self.injector,
             retry=self.config.retry,
         )
-        # Set when a prefetch job died and the run degraded to serial
-        # engine-thread I/O for its remainder.
-        self._degraded = False
         if self.tracer.enabled:
             self._wire_device_counters()
         #: Resolved row-parallel worker count ("auto" clamps to the cores
@@ -213,14 +218,9 @@ class GStoreEngine:
         # the process backend's degradation contract.
         self._shard_rt: "ShardRuntime | None" = None
         self._shard_failed = False
-        self._shard_active = False
-        #: Wall-clock overlap accounting for the most recent run.
+        #: Wall-clock overlap accounting for the most recent *engine-context*
+        #: run (private-context runs carry their own on the RunContext).
         self.wall_overlap = WallOverlap()
-        # Memoized rewind batch: all-active algorithms rewind the same tile
-        # set every iteration, so the merged run-level views (and their
-        # concatenated global-ID arrays) are built once and reused.
-        self._rewind_key: "list[int] | None" = None
-        self._rewind_merged: "list | None" = None
         # Dense demand baseline, fixed per graph: every non-empty position
         # plus its byte total.  Selective iterations measure what they
         # skipped against it; selective-off iterations fetch exactly it.
@@ -339,7 +339,9 @@ class GStoreEngine:
             and not self._verify
         )
 
-    def _shard_runtime(self) -> "ShardRuntime | None":
+    def _shard_runtime(
+        self, ctx: "RunContext | None" = None
+    ) -> "ShardRuntime | None":
         """The shard workers, spawned on first shardable iteration.
 
         Falls back to the single-process engine — permanently, for this
@@ -355,18 +357,22 @@ class GStoreEngine:
                 rt.start()
             except Exception as exc:
                 rt.shutdown()
-                self._shard_fallback("spawn_failed", exc)
+                self._shard_fallback(ctx, "spawn_failed", exc)
                 return None
             self._shard_rt = rt
         return self._shard_rt
 
-    def _shard_fallback(self, reason: str, exc: BaseException) -> None:
+    def _shard_fallback(
+        self, ctx: "RunContext | None", reason: str, exc: BaseException
+    ) -> None:
         """Degrade to the single-process path (counted + traced)."""
         self._shard_failed = True
-        self._shard_active = False
-        if self.tracer.enabled:
-            self.tracer.registry.counter("shard.fallbacks").add(1)
-            self.tracer.instant(
+        tracer = ctx.tracer if ctx is not None else self.tracer
+        if ctx is not None:
+            ctx.shard_active = False
+        if tracer.enabled:
+            tracer.registry.counter("shard.fallbacks").add(1)
+            tracer.instant(
                 "shard_fallback", cat="shard", reason=reason, error=str(exc)
             )
 
@@ -412,10 +418,43 @@ class GStoreEngine:
 
     # ------------------------------------------------------------------ #
 
+    def query_context(
+        self,
+        *,
+        trace: bool = False,
+        deadline: "float | None" = None,
+        cancel_event=None,
+    ) -> RunContext:
+        """A private, re-entrant run context over this engine's graph.
+
+        The serving layer's entry point (docs/SERVING.md): any number of
+        threads may each build a context and call
+        ``engine.run(algo, context=ctx)`` concurrently on *one* engine.
+        The context shares the immutable substrate (graph, tile-store
+        mmap, configuration) but owns its clock, simulated device array,
+        AIO context, and — when ``trace`` — a private tracer/registry, so
+        per-query :class:`RunStats` and counters are fully isolated.
+        Private runs execute single-process (kernels inline on the
+        calling thread; no shard scatter or process pool) and check
+        ``deadline`` (relative seconds) cooperatively at iteration
+        boundaries, raising :class:`~repro.errors.DeadlineError`.
+        """
+        return make_private_context(
+            self, trace=trace, deadline=deadline, cancel_event=cancel_event
+        )
+
+    def _engine_context(self) -> RunContext:
+        """The classic batch-mode context aliasing the engine singletons."""
+        return RunContext(
+            clock=self.clock, tracer=self.tracer, aio=self.aio,
+            wall_overlap=WallOverlap(),
+        )
+
     def run(
         self,
         algorithm: TileAlgorithm,
         checkpoint: "str | None" = None,
+        context: "RunContext | None" = None,
     ) -> RunStats:
         """Execute the algorithm to convergence; returns full statistics.
 
@@ -426,18 +465,31 @@ class GStoreEngine:
         iteration instead of starting over — producing result arrays
         bit-identical to an uninterrupted run (I/O statistics differ: a
         resumed run starts with a cold cache).
+
+        ``context`` selects the run's mutable state.  ``None`` (the batch
+        default) uses the engine's own clock/tracer/AIO singletons — one
+        run at a time, exactly the historical behaviour.  A private
+        context from :meth:`query_context` makes the call re-entrant:
+        concurrent runs with distinct contexts are safe on one engine.
         """
         cfg = self.config
         g = self.graph
-        self._rewind_key = None
-        self._rewind_merged = None
-        self._degraded = False
-        self._shard_active = self._run_can_shard(algorithm)
-        self.wall_overlap = WallOverlap()
+        ctx = context if context is not None else self._engine_context()
+        ctx.rewind_key = None
+        ctx.rewind_merged = None
+        ctx.degraded = False
+        # Private contexts trade intra-query parallelism for cross-query
+        # concurrency: no shard scatter (the shard runtime is bound to
+        # the engine's clock and gather queue, which are not re-entrant).
+        ctx.shard_active = (
+            not ctx.private and self._run_can_shard(algorithm)
+        )
+        if not ctx.private:
+            self.wall_overlap = ctx.wall_overlap
         if self._verify:
             g.ensure_checksums()
         ckpt = CheckpointManager(checkpoint) if checkpoint else None
-        with WallTimer() as wall, self.tracer.span(
+        with WallTimer() as wall, ctx.tracer.span(
             "run", cat="engine", algorithm=algorithm.name, graph=g.info.name
         ):
             algorithm.setup(g)
@@ -454,7 +506,7 @@ class GStoreEngine:
                 total_bytes=cfg.memory_bytes, segment_bytes=cfg.segment_bytes
             )
             scr = SCRScheduler(
-                budget=budget, policy=cfg.cache_policy, tracer=self.tracer
+                budget=budget, policy=cfg.cache_policy, tracer=ctx.tracer
             )
             if resume_cached:
                 # Rebuild the cache pool the interrupted run had at this
@@ -469,12 +521,18 @@ class GStoreEngine:
                 graph=g.info.name,
             )
             timeline = PipelineTimeline(
-                clock=self.clock, overlap=cfg.overlap, tracer=self.tracer
+                clock=ctx.clock, overlap=cfg.overlap, tracer=ctx.tracer
             )
 
             iteration = start_iteration
             while iteration < cfg.max_iterations:
-                it_stats = self._run_iteration(algorithm, scr, timeline, iteration)
+                # Cooperative cancellation point: between iterations no
+                # prefetcher or shard gather is live, so a deadline can
+                # stop the run without leaking threads or queue state.
+                ctx.check_cancelled()
+                it_stats = self._run_iteration(
+                    algorithm, scr, timeline, iteration, ctx
+                )
                 stats.add_iteration(it_stats)
                 if not algorithm.end_iteration(iteration):
                     break
@@ -504,26 +562,29 @@ class GStoreEngine:
                 )
 
         stats.wall_seconds = wall.elapsed
-        self.wall_overlap.elapsed = wall.elapsed
+        ctx.wall_overlap.elapsed = wall.elapsed
         stats.metadata_bytes = algorithm.metadata_bytes()
         stats.extra["scr"] = scr.stats
         stats.extra["pipeline"] = timeline.totals
-        stats.extra["pipeline_wall"] = self.wall_overlap.as_dict()
+        stats.extra["pipeline_wall"] = ctx.wall_overlap.as_dict()
         stats.extra["execution"] = {
             "fused": cfg.fused and algorithm.supports_fused,
             "selective": cfg.selective,
             "workers": cfg.workers,
-            "workers_resolved": self.workers,
+            "workers_resolved": 1 if ctx.private else self.workers,
             "backend": self.backend,
-            "backend_resolved": self._backend,
+            # Private contexts always walk the serial kernel path — the
+            # honest resolution, whatever the engine-level backend is.
+            "backend_resolved": "serial" if ctx.private else self._backend,
             "shards": cfg.shards,
             # What this run actually executed with: the configured shard
             # count when the sharded path ran to completion, else 1
             # (non-shardable run, or graceful fallback mid-run).
-            "shards_resolved": self.shards if self._shard_active else 1,
+            "shards_resolved": self.shards if ctx.shard_active else 1,
             "prefetch_depth": cfg.prefetch_depth,
             "realize_io": cfg.realize_io,
-            "degraded": self._degraded,
+            "degraded": ctx.degraded,
+            "private_context": ctx.private,
         }
         if self.injector is not None:
             stats.extra["faults"] = {
@@ -531,13 +592,13 @@ class GStoreEngine:
                 "injected": len(self.injector.log),
                 "counters": self.injector.counters(),
             }
-        if self.tracer.enabled:
+        if ctx.tracer.enabled:
             # Recorded after the run so the gauge reflects the backend the
             # run actually finished on (post any graceful fallback).
-            self.tracer.registry.gauge("engine.backend").set(
-                BACKEND_CODES[self._backend]
+            ctx.tracer.registry.gauge("engine.backend").set(
+                BACKEND_CODES["serial" if ctx.private else self._backend]
             )
-            stats.extra["counters"] = self.tracer.registry.as_dict()
+            stats.extra["counters"] = ctx.tracer.registry.as_dict()
         return stats
 
     # ------------------------------------------------------------------ #
@@ -548,10 +609,11 @@ class GStoreEngine:
         scr: SCRScheduler,
         timeline: PipelineTimeline,
         iteration: int,
+        ctx: RunContext,
     ) -> IterationStats:
         cfg = self.config
         g = self.graph
-        tracer = self.tracer
+        tracer = ctx.tracer
         it = IterationStats(iteration=iteration)
         elapsed_before = timeline.totals.elapsed
         with tracer.span("iteration", cat="engine", iteration=iteration):
@@ -586,7 +648,8 @@ class GStoreEngine:
                 # the prefetcher can run arbitrarily far ahead of compute.
                 plan: SlidePlan = scr.segment_plan(to_fetch, g.start_edge)
             fused = cfg.fused and algorithm.supports_fused
-            self._presize_arena(algorithm, plan)
+            if not ctx.private:
+                self._presize_arena(algorithm, plan)
 
             # Shard-parallel slide: scatter the iteration's frozen kernel
             # state plus each worker's lane of the plan *before* rewind,
@@ -595,14 +658,14 @@ class GStoreEngine:
             # every shardable kernel is snapshot-tolerant — see
             # repro.runtime.shard.)
             gather: "ShardGather | None" = None
-            if self._shard_active and plan.n_batches > 0:
-                rt = self._shard_runtime()
+            if ctx.shard_active and plan.n_batches > 0:
+                rt = self._shard_runtime(ctx)
                 if rt is not None:
                     try:
                         gather = rt.begin_iteration(algorithm, plan)
                     except ShardRuntimeError as exc:
                         self._teardown_shard_runtime()
-                        self._shard_fallback("scatter_failed", exc)
+                        self._shard_fallback(ctx, "scatter_failed", exc)
 
             # Shard workers prefetch their own lanes; the coordinator-side
             # prefetcher only runs on single-process iterations.
@@ -611,10 +674,10 @@ class GStoreEngine:
                 gather is None
                 and cfg.prefetch_depth > 0
                 and plan.n_batches > 0
-                and not self._degraded
+                and not ctx.degraded
             ):
                 jobs = [
-                    (lambda b=batch: self._prepare(list(b), fused))
+                    (lambda b=batch: self._prepare(list(b), fused, ctx))
                     for batch in plan.batches
                 ]
                 prefetcher = Prefetcher(
@@ -630,17 +693,20 @@ class GStoreEngine:
                         # the worker pool concurrently with the
                         # prefetcher's fetch of the first slide batches.
                         views = self.pool.submit(
-                            self._rewind_views, algorithm, cached, rewound
+                            self._rewind_views, algorithm, cached, rewound,
+                            ctx,
                         ).result()
                     else:
-                        views = self._rewind_views(algorithm, cached, rewound)
+                        views = self._rewind_views(
+                            algorithm, cached, rewound, ctx
+                        )
                     tc0 = _time.perf_counter()
                     with tracer.span(
                         "compute", cat="compute", phase="rewind",
                         tiles=len(cached),
                     ):
-                        edges = self._execute_views(algorithm, views)
-                    self.wall_overlap.compute_busy += _time.perf_counter() - tc0
+                        edges = self._execute_views(algorithm, views, ctx)
+                    ctx.wall_overlap.compute_busy += _time.perf_counter() - tc0
                     t = cfg.cost_model.compute_time(
                         algorithm.name, edges * algorithm.direction_passes,
                         len(cached),
@@ -680,10 +746,10 @@ class GStoreEngine:
                             batch=k - 1,
                         ):
                             comp_t = self._process_batch(
-                                algorithm, scr, prev.batch, it
+                                algorithm, scr, prev.batch, it, ctx
                             )
                     tc1 = _time.perf_counter()
-                    self.wall_overlap.compute_busy += tc1 - tc0
+                    ctx.wall_overlap.compute_busy += tc1 - tc0
                     if gather is not None:
                         with tracer.span("stall", cat="pipeline", batch=k):
                             try:
@@ -708,9 +774,9 @@ class GStoreEngine:
                                 # stats bit-identical.
                                 gather = None
                                 self._teardown_shard_runtime()
-                                self._shard_fallback("worker_died", exc)
+                                self._shard_fallback(ctx, "worker_died", exc)
                                 prep = self._prepare(
-                                    list(plan.batches[k]), fused
+                                    list(plan.batches[k]), fused, ctx
                                 )
                         stall = _time.perf_counter() - tc1
                     elif prefetcher is not None:
@@ -728,7 +794,7 @@ class GStoreEngine:
                                 # serial attempt propagates it typed.
                                 prefetcher.close()
                                 prefetcher = None
-                                self._degraded = True
+                                ctx.degraded = True
                                 if self.injector is not None:
                                     self.injector.registry.counter(
                                         "fault.prefetch_fallbacks"
@@ -738,17 +804,17 @@ class GStoreEngine:
                                     batch=k, error=str(exc),
                                 )
                                 prep = self._prepare(
-                                    list(plan.batches[k]), fused
+                                    list(plan.batches[k]), fused, ctx
                                 )
                         stall = _time.perf_counter() - tc1
                     else:
-                        prep = self._prepare(list(plan.batches[k]), fused)
+                        prep = self._prepare(list(plan.batches[k]), fused, ctx)
                         stall = prep.wall  # serial path: compute waits it out
-                    self.wall_overlap.record_fetch(
+                    ctx.wall_overlap.record_fetch(
                         prep.wall, stall,
                         prefetched=prefetcher is not None or gather is not None,
                     )
-                    self.aio.commit(prep.io_time)
+                    ctx.aio.commit(prep.io_time)
                     timeline.step(prep.io_time, comp_t)
                     it.io_time += prep.io_time
                     it.compute_time += comp_t
@@ -765,9 +831,9 @@ class GStoreEngine:
                         batch=plan.n_batches - 1,
                     ):
                         comp_t = self._process_batch(
-                            algorithm, scr, prev.batch, it
+                            algorithm, scr, prev.batch, it, ctx
                         )
-                    self.wall_overlap.compute_busy += _time.perf_counter() - tc0
+                    ctx.wall_overlap.compute_busy += _time.perf_counter() - tc0
                     timeline.compute_only(comp_t)
                     it.compute_time += comp_t
             finally:
@@ -819,7 +885,9 @@ class GStoreEngine:
 
     # ------------------------------------------------------------------ #
 
-    def _prepare(self, batch_positions: "list[int]", fused: bool) -> _Prepared:
+    def _prepare(
+        self, batch_positions: "list[int]", fused: bool, ctx: RunContext
+    ) -> _Prepared:
         """Fetch + decode one slide batch (runs on the prefetch thread when
         prefetching, inline on the engine thread at depth 0).
 
@@ -830,10 +898,10 @@ class GStoreEngine:
         """
         g = self.graph
         t0 = _time.perf_counter()
-        tracer = self.tracer
+        tracer = ctx.tracer
         with tracer.span("prepare", cat="pipeline", tiles=len(batch_positions)):
             requests = merge_requests(batch_positions, g.start_edge)
-            events, io_t = self.aio.service(requests)
+            events, io_t = ctx.aio.service(requests)
             buffers: "list[TileBuffer]" = []
             views: list = []
             edges = 0
@@ -938,17 +1006,17 @@ class GStoreEngine:
             return algorithm.cols_active_next()
         return None
 
-    def _rewind_views(self, algorithm: TileAlgorithm, cached, rewound):
+    def _rewind_views(self, algorithm: TileAlgorithm, cached, rewound, ctx):
         """Views for the rewind batch.
 
         Per-tile views are decoded lazily, once per pooled buffer.  On the
         fused path the whole rewind set is additionally merged into a few
         run-level views over one concatenated global-ID array — memoized on
-        the cached-position list, so all-active algorithms (which rewind an
-        identical set every iteration) pay the merge exactly once.  The
-        merged pieces concatenate back to the per-tile edge order, and
-        their count is worker-independent, so the determinism contract of
-        the fused layer is unchanged.
+        the cached-position list (per run, on the context), so all-active
+        algorithms (which rewind an identical set every iteration) pay the
+        merge exactly once.  The merged pieces concatenate back to the
+        per-tile edge order, and their count is worker-independent, so the
+        determinism contract of the fused layer is unchanged.
         """
         g = self.graph
         fused = self.config.fused and algorithm.supports_fused
@@ -957,7 +1025,7 @@ class GStoreEngine:
             # buffer lifetime.
             misses = [buf for buf in rewound if buf.view is None]
             if misses:
-                with self.tracer.span(
+                with ctx.tracer.span(
                     "rewind.decode", cat="decode", tiles=len(misses)
                 ):
                     decoded = g.decode_tiles(
@@ -968,14 +1036,14 @@ class GStoreEngine:
                         buf.view = tv
             return [buf.view for buf in rewound]
         key = [int(p) for p in cached]
-        if key == self._rewind_key:
-            return self._rewind_merged
+        if key == ctx.rewind_key:
+            return ctx.rewind_merged
         # Fused path: the pooled buffers are zero-copy slices of the
         # immutable tile store, so the rewind set can be re-merged into
         # byte-adjacent extents and batch-decoded straight off the backing
         # buffer — no per-tile views, no simulated I/O (the pool already
         # paid for these bytes).
-        with self.tracer.span(
+        with ctx.tracer.span(
             "rewind.decode", cat="decode", tiles=len(cached)
         ):
             runs = merge_requests(cached, g.start_edge)
@@ -984,23 +1052,27 @@ class GStoreEngine:
                 with_tiles=False,
             )
             views = g.split_run_views(views, _RUN_SPLIT)
-        self._rewind_key = key
-        self._rewind_merged = views
+        ctx.rewind_key = key
+        ctx.rewind_merged = views
         return views
 
-    def _execute_views(self, algorithm: TileAlgorithm, views) -> int:
+    def _execute_views(
+        self, algorithm: TileAlgorithm, views, ctx: RunContext
+    ) -> int:
         """Route one batch through the live backend's ``execute_batch``.
 
         The single funnel for kernel execution: picks the worker count
-        (the ``serial`` backend forces 1), attaches the process runtime
-        when the algorithm speaks the process-kernel contract, and — if a
-        worker process dies mid-batch — degrades to the thread backend and
-        recomputes the batch there.  The retry is safe because partials
-        are only applied after every shard returns: a crashed batch has
-        mutated no algorithm state, so the thread recompute sees exactly
-        the inputs the process attempt saw and determinism holds.
+        (the ``serial`` backend forces 1; private contexts always run
+        serial — their concurrency is across queries, not within one),
+        attaches the process runtime when the algorithm speaks the
+        process-kernel contract, and — if a worker process dies mid-batch
+        — degrades to the thread backend and recomputes the batch there.
+        The retry is safe because partials are only applied after every
+        shard returns: a crashed batch has mutated no algorithm state, so
+        the thread recompute sees exactly the inputs the process attempt
+        saw and determinism holds.
         """
-        kw = self.kernel_workers
+        kw = 1 if ctx.private else self.kernel_workers
         ppool = arena = None
         if kw > 1 and algorithm.supports_process:
             ppool, arena = self._process_runtime()
@@ -1008,7 +1080,7 @@ class GStoreEngine:
             return execute_batch(
                 algorithm, views, fused=self.config.fused, workers=kw,
                 pool=self.pool if kw > 1 else None,
-                ppool=ppool, arena=arena, tracer=self.tracer,
+                ppool=ppool, arena=arena, tracer=ctx.tracer,
             )
         except ProcessPoolError as exc:
             self._teardown_process_runtime()
@@ -1016,7 +1088,7 @@ class GStoreEngine:
             kw = self.kernel_workers
             return execute_batch(
                 algorithm, views, fused=self.config.fused, workers=kw,
-                pool=self.pool if kw > 1 else None, tracer=self.tracer,
+                pool=self.pool if kw > 1 else None, tracer=ctx.tracer,
             )
 
     def _presize_arena(self, algorithm: TileAlgorithm, plan: SlidePlan) -> None:
@@ -1047,6 +1119,7 @@ class GStoreEngine:
         scr: SCRScheduler,
         batch: "_Batch | _ShardBatch",
         it: IterationStats,
+        ctx: RunContext,
     ) -> float:
         g = self.graph
         if isinstance(batch, _ShardBatch):
@@ -1062,7 +1135,7 @@ class GStoreEngine:
                 edges += algorithm.apply_partial(partial)
             buffers = self._tile_buffers(batch.positions)
         else:
-            edges = self._execute_views(algorithm, batch.views)
+            edges = self._execute_views(algorithm, batch.views, ctx)
             buffers = batch.buffers
         it.edges_processed += edges
         scr.offer(

@@ -78,3 +78,31 @@ class DatasetError(ReproError):
 class CheckpointError(ReproError):
     """Raised when a checkpoint cannot be written, read, or matched to
     the run attempting to resume from it."""
+
+
+class QueryError(ReproError):
+    """Base class for serving-layer request failures (docs/SERVING.md).
+
+    Subclasses are the *typed* outcomes a client of the query service
+    must distinguish: rejected at admission vs cancelled by deadline vs
+    malformed.  Algorithm/storage errors raised while a query executes
+    propagate with their own types.
+    """
+
+
+class AdmissionError(QueryError):
+    """Typed rejection: the service's bounded admission queue is full.
+
+    Raised synchronously by ``QueryService.submit`` — the query was never
+    enqueued and consumed no engine resources; clients should back off
+    and retry (``context`` carries the configured bound).
+    """
+
+
+class DeadlineError(QueryError):
+    """A query exceeded its deadline (or was cancelled).
+
+    Cooperative: the engine checks the deadline at iteration boundaries
+    (:meth:`~repro.engine.context.RunContext.check_cancelled`), so no
+    kernel is interrupted mid-flight and the shared engine is left
+    clean — the query simply stops between iterations."""

@@ -90,7 +90,13 @@ class SCRStats:
 
 @dataclass
 class SCRScheduler:
-    """Cache-pool bookkeeping for one engine run."""
+    """Cache-pool bookkeeping for one engine run.
+
+    Per-run, not per-engine: the engine constructs a fresh scheduler
+    inside every ``run()`` call with that run's tracer, so concurrent
+    private-context runs (docs/SERVING.md) each get an isolated pool and
+    isolated ``scr.*`` counters — nothing here is shared across queries.
+    """
 
     budget: MemoryBudget
     policy: CachePolicy = CachePolicy.SCR

@@ -87,6 +87,17 @@ class MetricsRegistry:
     Names are dotted, ``subsystem.metric`` (see docs/OBSERVABILITY.md for
     the full reference).  Creating and updating are both safe from any
     thread; :meth:`as_dict` snapshots every current value.
+
+    Isolation contract for concurrent engine entry points
+    (docs/SERVING.md): thread safety makes *sharing* a registry
+    lossless, but shared counters still merge every caller's activity
+    into one stream.  Code that needs attributable per-query numbers —
+    the serving layer — therefore gives each query its own registry (via
+    a private :class:`~repro.engine.context.RunContext` tracer) and
+    reserves shared registries for genuinely global streams (the
+    service-level ``serve.*`` family).  Tests assert both halves of the
+    contract: no lost updates under contention, and no cross-query
+    bleed between private registries.
     """
 
     def __init__(self) -> None:

@@ -1,0 +1,55 @@
+"""LRU result cache for the query service (docs/SERVING.md).
+
+Keys are ``(graph_fingerprint, query.cache_key())`` — the fingerprint
+half makes invalidation structural: a rebuilt or different graph hashes
+differently, so its queries can never hit entries cached for another
+graph's bytes.  Nothing is ever explicitly invalidated; stale entries
+for dead fingerprints simply age out of the LRU.
+
+Thread-safe: the service's worker threads probe and fill concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+
+class ResultCache:
+    """Bounded thread-safe LRU of :class:`~repro.serve.queries.QueryResult`.
+
+    ``capacity`` counts entries (results are small: payload arrays are
+    per-vertex at most).  A capacity of 0 disables caching — every probe
+    misses and nothing is stored.
+    """
+
+    def __init__(self, capacity: int = 128):
+        self.capacity = int(capacity)
+        self._entries: "OrderedDict[tuple, object]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get(self, key: tuple):
+        """The cached result for ``key`` (refreshed to most-recent), or
+        ``None`` on a miss."""
+        with self._lock:
+            result = self._entries.get(key)
+            if result is not None:
+                self._entries.move_to_end(key)
+            return result
+
+    def put(self, key: tuple, result) -> None:
+        if self.capacity <= 0:
+            return
+        with self._lock:
+            self._entries[key] = result
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

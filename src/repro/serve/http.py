@@ -1,0 +1,99 @@
+"""Minimal stdlib HTTP front-end for the query service.
+
+Routes (see docs/SERVING.md for the request/response schemas):
+
+* ``GET /healthz``  — liveness + graph identity.
+* ``GET /stats``    — the shared ``serve.*`` counter snapshot.
+* ``POST /query``   — execute one query; body is the JSON dict accepted
+  by :func:`~repro.serve.queries.query_from_dict`, plus an optional
+  ``deadline`` (seconds).  The response is the result's bounded
+  :meth:`~repro.serve.queries.QueryResult.summary` — full per-vertex
+  arrays never travel over HTTP; their sha256 does.
+
+Typed failures map to status codes: 429 for admission rejection, 504
+for deadline exceeded, 400 for malformed queries, 500 otherwise.
+Threading model: ``ThreadingHTTPServer`` gives each connection a
+handler thread, which blocks in :meth:`QueryService.execute` — the
+service's own admission bound (not the socket backlog) is what limits
+concurrent work.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.errors import AdmissionError, DeadlineError, QueryError
+from repro.serve.queries import query_from_dict
+from repro.serve.service import QueryService
+
+
+class _Handler(BaseHTTPRequestHandler):
+    service: QueryService  # injected by make_server
+
+    # Silence per-request stderr logging; the service's counters are the
+    # observable surface.
+    def log_message(self, fmt, *args):  # noqa: D102
+        pass
+
+    def _send(self, code: int, body: dict) -> None:
+        data = json.dumps(body).encode()
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def do_GET(self):  # noqa: N802 - BaseHTTPRequestHandler contract
+        if self.path == "/healthz":
+            eng = self.service.engine
+            self._send(
+                200,
+                {
+                    "status": "ok",
+                    "graph": eng.graph.info.name,
+                    "n_vertices": eng.graph.n_vertices,
+                    "fingerprint": self.service.fingerprint,
+                },
+            )
+        elif self.path == "/stats":
+            self._send(200, self.service.stats())
+        else:
+            self._send(404, {"error": "not found"})
+
+    def do_POST(self):  # noqa: N802 - BaseHTTPRequestHandler contract
+        if self.path != "/query":
+            self._send(404, {"error": "not found"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            spec = json.loads(self.rfile.read(length) or b"{}")
+            deadline = spec.pop("deadline", None)
+            query = query_from_dict(spec)
+        except (ValueError, QueryError) as exc:
+            self._send(400, {"error": str(exc)})
+            return
+        try:
+            result = self.service.execute(query, deadline=deadline)
+        except AdmissionError as exc:
+            self._send(429, {"error": str(exc)})
+        except DeadlineError as exc:
+            self._send(504, {"error": str(exc)})
+        except QueryError as exc:
+            self._send(400, {"error": str(exc)})
+        except Exception as exc:  # engine/storage faults
+            self._send(500, {"error": str(exc)})
+        else:
+            self._send(200, result.summary())
+
+
+def make_server(
+    service: QueryService, host: str = "127.0.0.1", port: int = 8080
+) -> ThreadingHTTPServer:
+    """A ready-to-serve HTTP server bound to ``service``.
+
+    Caller owns the lifecycle: ``serve_forever()`` to run,
+    ``shutdown()`` + ``server_close()`` to stop (the CLI does both).
+    """
+    handler = type("BoundHandler", (_Handler,), {"service": service})
+    return ThreadingHTTPServer((host, port), handler)
