@@ -216,8 +216,9 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 
 def cmd_fsck(args: argparse.Namespace) -> int:
-    """Exit codes: 0 = clean, 1 = corrupt, 2 = unable to verify (the
-    checksum pass was requested but the graph predates checksums)."""
+    """Exit codes: 0 = clean, 1 = corrupt (graph or checkpoint), 2 =
+    unable to verify (the checksum pass was requested but the graph
+    predates checksums, or ``--checkpoint`` named an empty directory)."""
     from repro.format.tiles import TiledGraph
     from repro.format.validate import check_tiled_graph
 
@@ -226,13 +227,25 @@ def cmd_fsck(args: argparse.Namespace) -> int:
         tg, deep=not args.shallow, checksums=args.checksums
     )
     print(rep)
+    corrupt = not rep.ok and not rep.checksums_unavailable
+    unable = rep.checksums_unavailable
     if rep.checksums_unavailable:
         print(
             "checksums unavailable: graph saved before format version 2; "
             "re-save it to add them"
         )
-        return 2
-    return 0 if rep.ok else 1
+    if args.checkpoint is not None:
+        from repro.engine.checkpoint import check_checkpoint
+
+        crep = check_checkpoint(args.checkpoint, graph=tg)
+        print(crep)
+        if crep.present:
+            corrupt = corrupt or not crep.ok
+        else:
+            unable = True
+    if corrupt:
+        return 1
+    return 2 if unable else 0
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
@@ -340,9 +353,10 @@ def build_parser() -> argparse.ArgumentParser:
     pr.add_argument("--memory-fraction", type=float, default=0.25)
     pr.add_argument("--ssds", type=int, default=1)
     pr.add_argument("--faults", default=None, metavar="SEED_OR_SPEC",
-                    help="inject storage faults: an integer seed, or a "
-                         "comma-separated event spec such as "
-                         "'transient@3,spike@5:0.01,slow:0:4' "
+                    help="inject storage or transport faults: an integer "
+                         "seed, or a comma-separated event spec such as "
+                         "'transient@3,spike@5:0.01,slow:0:4' or "
+                         "'kill:0@2,drop:1@3,scatterfail@1' "
                          "(see docs/RELIABILITY.md)")
     pr.add_argument("--checkpoint", default=None, metavar="DIR",
                     help="checkpoint algorithm state here every iteration; "
@@ -387,6 +401,11 @@ def build_parser() -> argparse.ArgumentParser:
                          "CRC32C (exit 2 when the graph predates checksums)")
     pf.add_argument("--shallow", action="store_true",
                     help="metadata checks only (skip payload walk)")
+    pf.add_argument("--checkpoint", default=None, metavar="DIR",
+                    help="also validate the checkpoint in DIR "
+                         "(state.npz/meta.json integrity, iteration "
+                         "cross-check, cache-pool membership against "
+                         "this graph); exit 1 if corrupt, 2 if absent")
     pf.set_defaults(fn=cmd_fsck)
 
     ps = sub.add_parser(

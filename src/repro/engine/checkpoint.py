@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import json
 import os
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -177,3 +178,127 @@ class CheckpointManager:
             setattr(algorithm, key, value)
         for key, value in scalars.items():
             setattr(algorithm, key, value)
+
+
+# ---------------------------------------------------------------------- #
+# Validation (the `repro fsck --checkpoint` surface)
+# ---------------------------------------------------------------------- #
+
+
+@dataclass
+class CheckpointReport:
+    """Result of :func:`check_checkpoint` — the checkpoint fsck.
+
+    Mirrors the tile-format check report's exit-code contract (see
+    ``repro fsck``): ``present=False`` means "nothing to verify" (exit
+    2); ``present`` with problems means corruption (exit 1); a clean
+    report exits 0.
+    """
+
+    directory: str
+    present: bool = False
+    problems: "list[str]" = field(default_factory=list)
+    algorithm: "str | None" = None
+    graph: "str | None" = None
+    iteration: "int | None" = None
+    arrays: int = 0
+    cached_tiles: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.present and not self.problems
+
+    def __str__(self) -> str:
+        if not self.present:
+            return f"checkpoint {self.directory}: not found"
+        head = (
+            f"checkpoint {self.directory}: algorithm={self.algorithm} "
+            f"graph={self.graph} iteration={self.iteration} "
+            f"arrays={self.arrays} cached_tiles={self.cached_tiles}"
+        )
+        if self.ok:
+            return head + "\n  OK"
+        return head + "".join(f"\n  PROBLEM: {p}" for p in self.problems)
+
+
+def check_checkpoint(directory: "str | os.PathLike", graph=None) -> CheckpointReport:
+    """Validate a checkpoint directory's integrity without restoring it.
+
+    Checks ``meta.json`` parses and carries the identity header,
+    ``state.npz`` loads, the iteration cross-check holds (a torn write
+    leaves them disagreeing), and — when ``graph`` (a tiled graph) is
+    given — that the saved cache-pool membership is consistent: tile
+    positions must be unique integers inside the tile grid that address
+    non-empty tiles, and the graph names must match.
+    """
+    rep = CheckpointReport(directory=os.fspath(directory))
+    meta_path = os.path.join(rep.directory, _META_FILE)
+    state_path = os.path.join(rep.directory, _STATE_FILE)
+    if not os.path.exists(meta_path):
+        return rep
+    rep.present = True
+    try:
+        with open(meta_path, "r", encoding="utf-8") as fh:
+            meta = json.load(fh)
+    except (OSError, ValueError) as exc:
+        rep.problems.append(f"unreadable meta.json: {exc}")
+        return rep
+    for key in ("algorithm", "graph", "iteration"):
+        if key not in meta:
+            rep.problems.append(f"meta.json missing {key!r}")
+    rep.algorithm = meta.get("algorithm")
+    rep.graph = meta.get("graph")
+    rep.iteration = meta.get("iteration")
+    if not isinstance(meta.get("scalars", {}), dict):
+        rep.problems.append("meta.json scalars is not a dict")
+    engine_state = meta.get("engine", {})
+    if not isinstance(engine_state, dict):
+        rep.problems.append("meta.json engine state is not a dict")
+        engine_state = {}
+    if not os.path.exists(state_path):
+        rep.problems.append("state.npz missing")
+        return rep
+    try:
+        with np.load(state_path) as z:
+            rep.arrays = len([k for k in z.files if k != "__iteration__"])
+            if "__iteration__" not in z.files:
+                rep.problems.append("state.npz missing __iteration__")
+                state_iter = None
+            else:
+                state_iter = int(z["__iteration__"][0])
+    except (OSError, ValueError, KeyError) as exc:
+        rep.problems.append(f"unreadable state.npz: {exc}")
+        return rep
+    if state_iter is not None and state_iter != rep.iteration:
+        rep.problems.append(
+            f"iteration mismatch (torn write?): meta={rep.iteration} "
+            f"state={state_iter}"
+        )
+    positions = engine_state.get("cached_positions", [])
+    if not isinstance(positions, list) or any(
+        not isinstance(p, int) for p in positions
+    ):
+        rep.problems.append("cached_positions is not a list of ints")
+        return rep
+    rep.cached_tiles = len(positions)
+    if len(set(positions)) != len(positions):
+        rep.problems.append("cached_positions holds duplicate tiles")
+    if graph is not None:
+        if rep.graph is not None and rep.graph != graph.info.name:
+            rep.problems.append(
+                f"graph mismatch: checkpoint={rep.graph!r} "
+                f"loaded={graph.info.name!r}"
+            )
+        se = graph.start_edge.start_edge
+        n_positions = len(se) - 1
+        for p in positions:
+            if not (0 <= p < n_positions):
+                rep.problems.append(
+                    f"cached position {p} outside tile grid "
+                    f"[0, {n_positions})"
+                )
+            elif int(se[p + 1] - se[p]) <= 0:
+                rep.problems.append(
+                    f"cached position {p} addresses an empty tile"
+                )
+    return rep

@@ -90,7 +90,21 @@ class EngineConfig:
     #: that cannot shard (per-tile mode, fault injection, checksum
     #: verification, algorithms without the process-kernel contract, or
     #: spawn/shm unavailable) fall back to the single-process path.
+    #: Results and simulated statistics stay bit-identical across worker
+    #: deaths because the supervisor replays lost lanes (see
+    #: ``shard_respawn_budget``).
     shards: "int | None" = None
+    #: How many shard-worker respawns the supervisor may perform over the
+    #: engine's lifetime before giving up and falling back to the
+    #: single-process path (docs/RELIABILITY.md "Distributed fault
+    #: model").  0 disables self-healing: the first worker death falls
+    #: back immediately, the pre-supervisor behaviour.
+    shard_respawn_budget: int = 2
+    #: Seconds without any gathered result — while batches are
+    #: outstanding — before a live-but-silent shard worker is declared
+    #: hung, killed, and respawned.  ``None`` disables hang detection
+    #: (dead workers are still detected via liveness).
+    shard_heartbeat_timeout: "float | None" = 60.0
     #: Activity-aware tile skipping (§V-B): each iteration fetches only
     #: the tiles the algorithm's frontier metadata says it must touch
     #: (``rows_active()``/``cols_active()``/``tile_mask()``).  False is
@@ -161,6 +175,13 @@ class EngineConfig:
                 f"shards must be a positive int or None "
                 f"(REPRO_SHARDS default), got {self.shards!r}"
             )
+        if self.shard_respawn_budget < 0:
+            raise StorageError("shard_respawn_budget must be >= 0")
+        if (
+            self.shard_heartbeat_timeout is not None
+            and self.shard_heartbeat_timeout <= 0
+        ):
+            raise StorageError("shard_heartbeat_timeout must be > 0 or None")
         if self.prefetch_depth < 0:
             raise StorageError("prefetch_depth must be >= 0")
         if self.tiered_hot_fraction is not None and not (

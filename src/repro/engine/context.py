@@ -128,7 +128,10 @@ def make_private_context(
     from repro.obs import Tracer
     from repro.runtime.shard import build_device_array
 
-    if engine.config.faults is not None:
+    if engine.config.faults is not None and not engine.config.faults.transport_only():
+        # Transport-only plans are exempt: they target the shard
+        # coordinator<->worker transport, which private (serial) runs
+        # never touch.
         raise AlgorithmError(
             "private run contexts do not support fault injection: fault "
             "ordinals are assigned in global plan order on the engine's "

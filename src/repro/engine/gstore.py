@@ -175,11 +175,16 @@ class GStoreEngine:
             )
             self.injector.configure_array(self.array)
         #: Verify fetched tile extents against their CRC32C at decode time;
-        #: defaults to on exactly when faults are being injected.
+        #: defaults to on exactly when *storage* faults are being injected
+        #: (transport-only plans never corrupt payloads — they exercise
+        #: the shard supervisor, which needs verification off to shard).
         self._verify = (
             self.config.verify_checksums
             if self.config.verify_checksums is not None
-            else self.config.faults is not None
+            else (
+                self.config.faults is not None
+                and not self.config.faults.transport_only()
+            )
         )
         self.aio = AIOContext(
             store=self.store, array=self.array, clock=self.clock,
@@ -218,6 +223,14 @@ class GStoreEngine:
         # the process backend's degradation contract.
         self._shard_rt: "ShardRuntime | None" = None
         self._shard_failed = False
+        #: Supervisor accounting (docs/RELIABILITY.md "Distributed fault
+        #: model"): worker deaths/hangs detected, respawns consumed from
+        #: ``config.shard_respawn_budget``, and batches replayed.  Owned
+        #: by the engine so the numbers survive a runtime teardown; the
+        #: shard runtime increments it in place.
+        self.supervisor: "dict[str, int]" = dict.fromkeys(
+            ("respawns", "worker_deaths", "hangs", "replayed_batches"), 0
+        )
         #: Wall-clock overlap accounting for the most recent *engine-context*
         #: run (private-context runs carry their own on the RunContext).
         self.wall_overlap = WallOverlap()
@@ -323,11 +336,14 @@ class GStoreEngine:
 
         Sharding needs the fused process-kernel contract (workers run the
         static ``kernel_partial`` from a shipped state snapshot) and a
-        clean substrate: fault injection assigns request ordinals in
-        global plan order under one AIO lock, and checksum verification
-        happens at coordinator decode — neither exists on worker-private
-        replicas, so those runs stay single-process rather than silently
-        changing their semantics.
+        clean substrate: *storage* fault injection assigns request
+        ordinals in global plan order under one AIO lock, and checksum
+        verification happens at coordinator decode — neither exists on
+        worker-private replicas, so those runs stay single-process rather
+        than silently changing their semantics.  Transport-only fault
+        plans (``kill``/``drop``/``delay``/``scatterfail``) are the
+        exception: they target the shard transport itself and *require*
+        sharding to mean anything.
         """
         return (
             self.shards > 1
@@ -335,7 +351,10 @@ class GStoreEngine:
             and self.config.fused
             and algorithm.supports_fused
             and algorithm.supports_process
-            and self.injector is None
+            and (
+                self.injector is None
+                or self.config.faults.transport_only()
+            )
             and not self._verify
         )
 
@@ -351,7 +370,14 @@ class GStoreEngine:
         """
         if self._shard_rt is None:
             rt = ShardRuntime(
-                self.graph, self.config, self.shards, tracer=self.tracer
+                self.graph,
+                self.config,
+                self.shards,
+                tracer=self.tracer,
+                faults=self.config.faults,
+                respawn_budget=self.config.shard_respawn_budget,
+                heartbeat_timeout=self.config.shard_heartbeat_timeout,
+                supervisor=self.supervisor,
             )
             try:
                 rt.start()
@@ -380,6 +406,19 @@ class GStoreEngine:
         rt, self._shard_rt = self._shard_rt, None
         if rt is not None:
             rt.shutdown()
+
+    @property
+    def shard_failed(self) -> bool:
+        """True once shard execution has permanently degraded to the
+        single-process path (a latched engine-health signal the serve
+        layer's :class:`~repro.serve.health.HealthMonitor` reads)."""
+        return self._shard_failed
+
+    @property
+    def backend_degraded(self) -> bool:
+        """True once the requested execution backend has degraded (the
+        process backend fell back to threads)."""
+        return self._backend != self.backend
 
     def warm_backend(self) -> str:
         """Start the configured backend's workers now; returns the live
@@ -586,6 +625,8 @@ class GStoreEngine:
             "degraded": ctx.degraded,
             "private_context": ctx.private,
         }
+        if self.shards > 1:
+            stats.extra["supervisor"] = dict(self.supervisor)
         if self.injector is not None:
             stats.extra["faults"] = {
                 "plan": self.injector.plan.describe(),
@@ -662,7 +703,9 @@ class GStoreEngine:
                 rt = self._shard_runtime(ctx)
                 if rt is not None:
                     try:
-                        gather = rt.begin_iteration(algorithm, plan)
+                        gather = rt.begin_iteration(
+                            algorithm, plan, iteration=iteration
+                        )
                     except ShardRuntimeError as exc:
                         self._teardown_shard_runtime()
                         self._shard_fallback(ctx, "scatter_failed", exc)

@@ -23,6 +23,7 @@ the retry/backoff policy.
 from repro.faults.crc import crc32c
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import (
+    TRANSPORT_KINDS,
     FaultEvent,
     FaultKind,
     FaultPlan,
@@ -38,4 +39,5 @@ __all__ = [
     "FaultPlan",
     "FaultRates",
     "RetryPolicy",
+    "TRANSPORT_KINDS",
 ]

@@ -38,8 +38,8 @@ from __future__ import annotations
 
 import importlib
 import multiprocessing
+import multiprocessing.connection
 import os
-import queue
 import time
 import traceback
 from dataclasses import dataclass
@@ -158,7 +158,9 @@ def _resolve_algorithm(module: str, qualname: str, cache: dict):
     return cls
 
 
-def _shard_worker_main(shard_id, graph, wcfg, task_q, result_q) -> None:
+def _shard_worker_main(
+    shard_id, incarnation, graph, wcfg, task_q, result_conn, transport=()
+) -> None:
     """Worker-process loop: fetch, decode, and run kernels for one lane.
 
     Runs in a ``spawn``-ed child that received the (picklable) tiled
@@ -169,6 +171,29 @@ def _shard_worker_main(shard_id, graph, wcfg, task_q, result_q) -> None:
     monotonic clock on Linux, so the coordinator can place worker spans
     on the tracer's shared timeline.  The first message is a
     ``("hello", shard_id, None, None)`` bootstrap marker.
+
+    Results travel over ``result_conn``, a **dedicated pipe** per worker
+    incarnation rather than one queue shared by all workers.  The
+    distinction is what makes SIGKILL recoverable: a shared
+    ``multiprocessing.Queue`` serialises writers through one cross-process
+    lock held by each worker's feeder thread, and a worker killed inside
+    that critical section orphans the lock — wedging every *surviving*
+    writer and every *respawned* incarnation forever.  A private
+    ``Pipe`` has exactly one writer and no feeder thread
+    (:meth:`~multiprocessing.connection.Connection.send` completes in
+    the posting thread), so the blast radius of a kill is the dead
+    worker's own channel, which the supervisor discards on respawn; the
+    coordinator closes its copy of the send end, so worker death surfaces
+    as EOF instead of an unbounded read.
+
+    ``incarnation`` counts how many times this shard slot has been
+    spawned (1 for the original process); ``transport`` is the scripted
+    transport-fault schedule for this slot as ``(kind, batch, count,
+    delay)`` tuples (see docs/RELIABILITY.md).  A fault fires only while
+    ``incarnation <= count``, so a respawned worker replays the lost
+    batches clean — which is exactly what makes a scripted kill
+    deterministic: the batch either came from the original process or is
+    recomputed bit-identically from the same frozen state snapshot.
     """
     from repro.engine.selective import merge_requests
     from repro.format.tiles import concat_global_edges
@@ -185,7 +210,11 @@ def _shard_worker_main(shard_id, graph, wcfg, task_q, result_q) -> None:
         realize_io=wcfg.realize_io,
     )
     pid = os.getpid()
-    result_q.put(("hello", shard_id, None, None))
+    chaos = {
+        int(batch): (kind, int(count), float(delay))
+        for (kind, batch, count, delay) in transport
+    }
+    result_conn.send(("hello", shard_id, None, None))
     seg_cache: "dict[str, object]" = {}
     algo_cache: dict = {}
     while True:
@@ -195,6 +224,13 @@ def _shard_worker_main(shard_id, graph, wcfg, task_q, result_q) -> None:
         _, module, qualname, params, state_descs, lane = item
         cls = state = None
         for batch_index, positions in lane:
+            fault = chaos.get(batch_index)
+            if fault is not None and incarnation > fault[1]:
+                fault = None  # condition cleared for this incarnation
+            if fault is not None and fault[0] == "kill":
+                # send() is synchronous, so every earlier batch is fully
+                # on the wire — an abrupt exit loses only this batch.
+                os._exit(17)
             t0 = time.perf_counter()
             try:
                 if cls is None:
@@ -215,68 +251,168 @@ def _shard_worker_main(shard_id, graph, wcfg, task_q, result_q) -> None:
                     )
                     for chunk in cls.shard_views(views)
                 ]
-                result_q.put((
+                if fault is not None and fault[0] == "drop":
+                    continue  # computed, never posted: the hang scenario
+                if fault is not None and fault[0] == "delay":
+                    time.sleep(fault[2])
+                result_conn.send((
                     batch_index,
                     True,
                     (partials, io_t, sum(r.size for r in requests)),
                     (shard_id, pid, t0, time.perf_counter()),
                 ))
+            except (BrokenPipeError, OSError):  # pragma: no cover
+                return  # coordinator discarded this channel; just exit
             except BaseException as exc:
                 detail = (
                     f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}"
                 )
-                result_q.put((
-                    batch_index,
-                    False,
-                    detail,
-                    (shard_id, pid, t0, time.perf_counter()),
-                ))
+                try:
+                    result_conn.send((
+                        batch_index,
+                        False,
+                        detail,
+                        (shard_id, pid, t0, time.perf_counter()),
+                    ))
+                except (BrokenPipeError, OSError):  # pragma: no cover
+                    return
     for seg in seg_cache.values():
         try:
             seg.close()
         except BufferError:  # pragma: no cover - exiting anyway
             pass
+    result_conn.close()
 
 
 class ShardGather:
-    """In-order delivery of one iteration's gathered batches.
+    """In-order delivery of one iteration's gathered batches, supervised.
 
     Workers finish out of order (lanes interleave, batch sizes skew); the
     coordinator must commit in global plan order, so arrivals are
-    buffered by batch index and released sequentially.  Raises
-    :class:`ShardRuntimeError` — after marking the runtime broken — if a
-    worker dies or a batch fails; the engine then tears the runtime down
-    and finishes the iteration on its own fetch path.
+    buffered by batch index and released sequentially.
+
+    The gather loop doubles as the **shard supervisor**: while blocked on
+    the per-worker result pipes it watches worker liveness and progress.  A dead
+    worker (SIGKILL, OOM, scripted ``kill``) or a hung one (no result
+    within the heartbeat timeout while its lane has outstanding batches —
+    the scripted ``drop`` scenario) is respawned with a fresh task queue
+    and re-sent *only its unreceived batches*, charged against the
+    runtime's bounded respawn budget.  This is deterministic because
+    workers compute pure functions of the frozen iteration-start state
+    snapshot and their byte extents: a replayed batch is bit-identical to
+    the lost one, and plan-order commit makes arrival order irrelevant.
+    Raises :class:`ShardRuntimeError` — after marking the runtime broken
+    — only when respawn cannot help (a deterministic batch failure) or
+    the budget is exhausted; the engine then tears the runtime down and
+    finishes the iteration on its own fetch path.
     """
 
-    def __init__(self, runtime: "ShardRuntime", n_batches: int):
+    def __init__(
+        self,
+        runtime: "ShardRuntime",
+        n_batches: int,
+        lanes: "list[list[tuple[int, tuple[int, ...]]]] | None" = None,
+        scatter: "tuple | None" = None,
+    ):
         self._rt = runtime
         self._n = n_batches
         self._next = 0
         self._buffered: "dict[int, tuple]" = {}
+        self._lanes = lanes if lanes is not None else []
+        self._scatter = scatter  # (module, qualname, params, descs)
+        self._received: "set[int]" = set()
+        self._last_progress = time.monotonic()
 
     @property
     def exhausted(self) -> bool:
         return self._next >= self._n
 
+    def _accept(self, idx, ok, payload, meta) -> None:
+        """Buffer one raw result message (shared by get and supervise)."""
+        if idx == "hello":
+            return  # bootstrap marker from a (re)spawned worker
+        if idx in self._received:
+            return  # duplicate from a pre-respawn incarnation
+        if not ok:
+            self._rt._broken = True
+            raise ShardRuntimeError(
+                f"shard batch {idx} failed in worker "
+                f"{meta[0]} (pid {meta[1]}):\n{payload}"
+            )
+        self._received.add(idx)
+        self._buffered[idx] = (payload, meta)
+        self._last_progress = time.monotonic()
+
+    def _missing_for(self, shard_id: int) -> "list[tuple[int, tuple]]":
+        if shard_id >= len(self._lanes):
+            return []
+        return [
+            (b, positions)
+            for b, positions in self._lanes[shard_id]
+            if b not in self._received
+        ]
+
+    def _drain_posted(self) -> None:
+        """Harvest everything already sitting in the result pipes so the
+        replay set contains only batches that truly never arrived."""
+        for conn in self._rt._result_conns:
+            while True:
+                try:
+                    if not conn.poll(0):
+                        break
+                    idx, ok, payload, meta = conn.recv()
+                except (EOFError, OSError):
+                    break  # dead worker's channel; supervision respawns it
+                self._accept(idx, ok, payload, meta)
+
+    def _supervise(self) -> None:
+        """Detect dead/hung workers; respawn and replay their lost lanes."""
+        rt = self._rt
+        dead = [i for i, p in enumerate(rt._procs) if not p.is_alive()]
+        hung: "list[int]" = []
+        if (
+            not dead
+            and rt.heartbeat_timeout is not None
+            and time.monotonic() - self._last_progress > rt.heartbeat_timeout
+        ):
+            hung = [i for i in range(rt.shards) if self._missing_for(i)]
+        if not dead and not hung:
+            return
+        self._drain_posted()
+        for i in dead + hung:
+            missing = self._missing_for(i)
+            rt.respawn_worker(i, hung=i in hung)
+            if missing and self._scatter is not None:
+                module, qualname, params, descs = self._scatter
+                rt._task_qs[i].put(
+                    ("iter", module, qualname, params, descs, missing)
+                )
+                rt._count_supervisor("replayed_batches", len(missing))
+        self._last_progress = time.monotonic()
+
     def get(self) -> ShardPrepared:
         """The next batch in plan order (blocks until its worker posts)."""
         rt = self._rt
         while self._next not in self._buffered:
-            try:
-                idx, ok, payload, meta = rt._result_q.get(timeout=rt._POLL)
-            except queue.Empty:
-                rt._check_alive()
+            # The conn list is rebuilt every pass: a respawn swaps the
+            # dead worker's channel out from under us mid-wait.
+            ready = multiprocessing.connection.wait(
+                list(rt._result_conns), timeout=rt._POLL
+            )
+            if not ready:
+                self._supervise()
                 continue
-            if idx == "hello":  # pragma: no cover - late bootstrap marker
-                continue
-            if not ok:
-                rt._broken = True
-                raise ShardRuntimeError(
-                    f"shard batch {idx} failed in worker "
-                    f"{meta[0]} (pid {meta[1]}):\n{payload}"
-                )
-            self._buffered[idx] = (payload, meta)
+            accepted = False
+            for conn in ready:
+                try:
+                    idx, ok, payload, meta = conn.recv()
+                except (EOFError, OSError):
+                    continue  # EOF = worker died; supervision handles it
+                self._accept(idx, ok, payload, meta)
+                accepted = True
+            if not accepted:
+                # Only EOFs were ready: don't spin on a dead channel.
+                self._supervise()
         payload, meta = self._buffered.pop(self._next)
         (partials, io_time, bytes_read), (shard_id, pid, t0, t1) = (
             payload,
@@ -313,29 +449,45 @@ class ShardGather:
 
     def close(self, timeout: float = 30.0) -> None:
         """Drain undelivered results so the queue is clean for the next
-        iteration (no-op when fully consumed).  Marks the runtime broken
-        if the drain cannot complete — the engine will then tear it down
-        before trusting it again."""
-        outstanding = self._n - self._next - len(self._buffered)
+        iteration (no-op when fully consumed).  The drain is **bounded**:
+        a worker that never posts (hung, or a scripted ``drop``) cannot
+        stall the coordinator past ``timeout`` — the runtime is marked
+        broken instead, and the engine's teardown path terminates the
+        straggler through :func:`stop_worker_processes` (which escalates
+        to SIGKILL for workers that ignore terminate).
+        """
+        outstanding = self._n - len(self._received)
         self._buffered.clear()
         self._next = self._n
         if outstanding <= 0 or self._rt._broken or self._rt._closed:
             return
         deadline = time.monotonic() + timeout
         while outstanding > 0:
-            try:
-                idx, *_ = self._rt._result_q.get(timeout=self._rt._POLL)
-            except queue.Empty:
+            ready = multiprocessing.connection.wait(
+                list(self._rt._result_conns), timeout=self._rt._POLL
+            )
+            drained = 0
+            for conn in ready:
+                try:
+                    idx, *_ = conn.recv()
+                except (EOFError, OSError):
+                    # A worker died mid-drain; its results are gone for
+                    # good — teardown reaps it, nothing left to wait for.
+                    self._rt._broken = True
+                    return
+                if idx == "hello" or idx in self._received:
+                    continue
+                self._received.add(idx)
+                outstanding -= 1
+                drained += 1
+            if drained == 0:
                 try:
                     self._rt._check_alive()
                 except ShardRuntimeError:
                     return
-                if time.monotonic() > deadline:  # pragma: no cover
+                if time.monotonic() > deadline:
                     self._rt._broken = True
                     return
-                continue
-            if idx != "hello":
-                outstanding -= 1
 
 
 class ShardRuntime:
@@ -353,7 +505,17 @@ class ShardRuntime:
 
     _POLL = 0.2
 
-    def __init__(self, graph, config, shards: int, tracer=NULL_TRACER):
+    def __init__(
+        self,
+        graph,
+        config,
+        shards: int,
+        tracer=NULL_TRACER,
+        faults=None,
+        respawn_budget: int = 2,
+        heartbeat_timeout: "float | None" = 60.0,
+        supervisor: "dict | None" = None,
+    ):
         self.shards = int(shards)
         self._graph = graph
         self._wcfg = ShardWorkerConfig(
@@ -368,13 +530,24 @@ class ShardRuntime:
         )
         self._spec = ShardSpec(self.shards)
         self._tracer = tracer
+        self._faults = faults
+        self.respawn_budget = int(respawn_budget)
+        self.heartbeat_timeout = heartbeat_timeout
+        self.supervisor = (
+            supervisor
+            if supervisor is not None
+            else dict.fromkeys(
+                ("respawns", "worker_deaths", "hangs", "replayed_batches"), 0
+            )
+        )
         self._arena = ShmArena(
             registry=tracer.registry if tracer.enabled else None
         )
         self._ctx = multiprocessing.get_context("spawn")
         self._task_qs: list = []
-        self._result_q = None
+        self._result_conns: list = []  # one receive end per worker slot
         self._procs: list = []
+        self._incarnations: "list[int]" = []
         self._started = False
         self._broken = False
         self._closed = False
@@ -387,6 +560,103 @@ class ShardRuntime:
     @property
     def broken(self) -> bool:
         return self._broken
+
+    @property
+    def respawns(self) -> int:
+        """Respawns consumed from the budget over this runtime's life."""
+        return self.supervisor.get("respawns", 0)
+
+    def _count_supervisor(self, key: str, n: int = 1) -> None:
+        self.supervisor[key] = self.supervisor.get(key, 0) + n
+        if self._tracer.enabled:
+            self._tracer.registry.counter(f"supervisor.{key}").add(n)
+
+    def _transport_for(self, shard_id: int) -> "tuple[tuple, ...]":
+        """Picklable transport-fault schedule for one worker slot."""
+        if self._faults is None:
+            return ()
+        return tuple(
+            (e.kind.value, e.request, e.count, e.delay)
+            for e in self._faults.worker_events(shard_id)
+        )
+
+    def _spawn_worker(self, shard_id: int, incarnation: int):
+        """One spawned worker plus its private task queue + result pipe.
+
+        The coordinator closes its copy of the pipe's send end as soon
+        as the child holds one, so the receive end reads EOF — never a
+        torn half-message or an unbounded block — the instant the worker
+        dies with the channel open.
+        """
+        task_q = self._ctx.Queue()
+        recv_conn, send_conn = self._ctx.Pipe(duplex=False)
+        p = self._ctx.Process(
+            target=_shard_worker_main,
+            args=(
+                shard_id,
+                incarnation,
+                self._graph,
+                self._wcfg,
+                task_q,
+                send_conn,
+                self._transport_for(shard_id),
+            ),
+            name=f"{SHARD_WORKER_PREFIX}-{shard_id}",
+            daemon=True,
+        )
+        p.start()
+        send_conn.close()
+        return p, task_q, recv_conn
+
+    def respawn_worker(self, shard_id: int, hung: bool = False) -> None:
+        """Replace a dead or hung worker, charging the respawn budget.
+
+        The replacement gets a *fresh* task queue (the old one may hold a
+        half-consumed scatter message and is unrecoverable once its
+        feeder thread lost its consumer) and an incremented incarnation
+        number, which is what clears scripted transport faults whose
+        ``count`` the old incarnations already satisfied.  Raises
+        :class:`ShardRuntimeError` once the budget is exhausted — the
+        engine's existing fallback path takes over from there.
+        """
+        if self.respawns >= self.respawn_budget:
+            self._broken = True
+            raise ShardRuntimeError(
+                f"respawn budget exhausted ({self.respawn_budget}) at "
+                f"worker {shard_id}"
+            )
+        old = self._procs[shard_id]
+        self._count_supervisor("hangs" if hung else "worker_deaths")
+        if old.is_alive():
+            # A hung worker may ignore SIGTERM (blocked in a C call or
+            # stopped); SIGKILL is the only bounded option.
+            old.kill()
+            old.join(timeout=5.0)
+        old_q = self._task_qs[shard_id]
+        try:
+            old_q.close()
+            old_q.cancel_join_thread()
+        except (OSError, ValueError):  # pragma: no cover - already closed
+            pass
+        try:
+            self._result_conns[shard_id].close()
+        except (OSError, ValueError):  # pragma: no cover - already closed
+            pass
+        self._count_supervisor("respawns")
+        self._incarnations[shard_id] += 1
+        p, task_q, conn = self._spawn_worker(
+            shard_id, self._incarnations[shard_id]
+        )
+        self._procs[shard_id] = p
+        self._task_qs[shard_id] = task_q
+        self._result_conns[shard_id] = conn
+        if self._tracer.enabled:
+            self._tracer.instant(
+                "supervisor_respawn",
+                shard=shard_id,
+                incarnation=self._incarnations[shard_id],
+                hung=hung,
+            )
 
     def start(self, timeout: float = 120.0) -> None:
         """Spawn the workers and wait for every hello (idempotent).
@@ -401,25 +671,21 @@ class ShardRuntime:
         if self._started:
             return
         self._arena.ensure(self._arena.ALIGN)  # probe shared memory now
-        self._result_q = self._ctx.Queue()
         for i in range(self.shards):
-            task_q = self._ctx.Queue()
-            p = self._ctx.Process(
-                target=_shard_worker_main,
-                args=(i, self._graph, self._wcfg, task_q, self._result_q),
-                name=f"{SHARD_WORKER_PREFIX}-{i}",
-                daemon=True,
-            )
-            p.start()
+            p, task_q, conn = self._spawn_worker(i, incarnation=1)
             self._task_qs.append(task_q)
             self._procs.append(p)
+            self._result_conns.append(conn)
+            self._incarnations.append(1)
         self._started = True
         deadline = time.monotonic() + timeout
-        hellos = 0
-        while hellos < self.shards:
-            try:
-                msg = self._result_q.get(timeout=self._POLL)
-            except queue.Empty:
+        waiting = set(range(self.shards))
+        while waiting:
+            ready = multiprocessing.connection.wait(
+                [self._result_conns[i] for i in waiting],
+                timeout=self._POLL,
+            )
+            if not ready:
                 if time.monotonic() > deadline:  # pragma: no cover
                     self._broken = True
                     raise ShardRuntimeError(
@@ -427,8 +693,14 @@ class ShardRuntime:
                     )
                 self._check_alive()
                 continue
-            if msg[0] == "hello":
-                hellos += 1
+            for conn in ready:
+                try:
+                    msg = conn.recv()
+                except (EOFError, OSError):
+                    self._check_alive()  # raises naming the dead worker
+                    continue  # pragma: no cover - closed but not dead yet
+                if msg[0] == "hello":
+                    waiting.discard(msg[1])
 
     def _check_alive(self) -> None:
         dead = [p for p in self._procs if not p.is_alive()]
@@ -439,28 +711,41 @@ class ShardRuntime:
             )
             raise ShardRuntimeError(f"shard worker died: {names}")
 
-    def begin_iteration(self, algorithm, plan) -> ShardGather:
+    def begin_iteration(self, algorithm, plan, iteration: int = 0) -> ShardGather:
         """Scatter one iteration: frozen kernel state + per-worker lanes.
 
         The arena reserve/put here is safe against the previous
         iteration's workers because gathering *all* batches is a barrier:
         no worker touches its stale state views after posting its last
         result, and the engine never begins an iteration before the
-        previous gather completed (or the runtime was torn down).
+        previous gather completed (or the runtime was torn down).  A
+        scripted ``scatterfail@ITER`` transport fault fires here, before
+        anything is scattered, exercising the engine's scatter-failed
+        fallback path.
         """
         if self._broken:
             raise ShardRuntimeError("shard runtime is broken")
+        if (
+            self._faults is not None
+            and self._faults.scatter_event_for(iteration) is not None
+        ):
+            self._broken = True
+            raise ShardRuntimeError(
+                f"injected scatter failure at iteration {iteration}"
+            )
         self.start()
         cls = type(algorithm)
         state = algorithm.kernel_state()
         params = algorithm.kernel_params()
         self._arena.reserve(ShmArena.layout_bytes(state.values()))
         descs = {k: self._arena.put(v) for k, v in state.items()}
-        for task_q, lane in zip(self._task_qs, self._spec.assign(plan)):
+        lanes = self._spec.assign(plan)
+        scatter = (cls.__module__, cls.__qualname__, params, descs)
+        for task_q, lane in zip(self._task_qs, lanes):
             task_q.put(
                 ("iter", cls.__module__, cls.__qualname__, params, descs, lane)
             )
-        return ShardGather(self, plan.n_batches)
+        return ShardGather(self, plan.n_batches, lanes=lanes, scatter=scatter)
 
     def shutdown(self) -> None:
         """Stop and join every worker, release the arena (idempotent)."""
@@ -468,13 +753,15 @@ class ShardRuntime:
             return
         self._closed = True
         if self._started:
-            stop_worker_processes(
-                self._procs,
-                self._task_qs,
-                [self._result_q] if self._result_q is not None else [],
-            )
+            stop_worker_processes(self._procs, self._task_qs)
+        for conn in self._result_conns:
+            try:
+                conn.close()
+            except (OSError, ValueError):  # pragma: no cover
+                pass
         self._procs = []
         self._task_qs = []
+        self._result_conns = []
         self._arena.close()
 
     def __enter__(self) -> "ShardRuntime":

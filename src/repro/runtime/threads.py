@@ -177,11 +177,14 @@ def stop_worker_processes(
     ``None`` shutdown sentinel per worker (round-robin over the task
     queues, so pools with one shared queue and runtimes with one queue
     per worker both drain correctly), join with a timeout, terminate
-    stragglers, then close every queue with ``cancel_join_thread`` so an
-    unread result can never block interpreter exit.  Shared-memory
-    segments are *not* released here — arenas own their segments and the
-    ``LIVE_SHM_SEGMENTS`` leak oracle stays exact because every segment
-    release still goes through :meth:`ShmArena.close`.
+    stragglers — escalating to SIGKILL for workers that ignore SIGTERM
+    (a stopped or D-state process never sees terminate, and teardown
+    must stay bounded) — then close every queue with
+    ``cancel_join_thread`` so an unread result can never block
+    interpreter exit.  Shared-memory segments are *not* released here —
+    arenas own their segments and the ``LIVE_SHM_SEGMENTS`` leak oracle
+    stays exact because every segment release still goes through
+    :meth:`ShmArena.close`.
     """
     if procs and task_queues:
         try:
@@ -192,8 +195,11 @@ def stop_worker_processes(
         for p in procs:
             p.join(timeout=timeout)
         for p in procs:
-            if p.is_alive():  # pragma: no cover - stuck worker
+            if p.is_alive():
                 p.terminate()
+                p.join(timeout=timeout)
+            if p.is_alive():
+                p.kill()
                 p.join(timeout=timeout)
     for q_ in (*task_queues, *result_queues):
         try:

@@ -3,13 +3,15 @@
 The layer that turns the batch engine into a service (docs/SERVING.md):
 typed queries (:mod:`repro.serve.queries`), a thread-pool service with
 admission control, deadlines, and an LRU result cache
-(:mod:`repro.serve.service`), and a stdlib HTTP front-end
+(:mod:`repro.serve.service`), a health state machine with load shedding
+(:mod:`repro.serve.health`), and a stdlib HTTP front-end
 (:mod:`repro.serve.http`).  ``python -m repro serve`` starts it from
 the command line; ``benchmarks/bench_serve_load.py`` is the load
 harness.
 """
 
 from repro.serve.cache import ResultCache
+from repro.serve.health import HealthMonitor, HealthState
 from repro.serve.queries import (
     QUERY_TYPES,
     BFSQuery,
@@ -27,6 +29,8 @@ from repro.serve.service import QueryService, ServiceConfig
 
 __all__ = [
     "BFSQuery",
+    "HealthMonitor",
+    "HealthState",
     "NeighborhoodQuery",
     "PageRankTopKQuery",
     "Query",

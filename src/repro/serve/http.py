@@ -2,16 +2,26 @@
 
 Routes (see docs/SERVING.md for the request/response schemas):
 
-* ``GET /healthz``  — liveness + graph identity.
-* ``GET /stats``    — the shared ``serve.*`` counter snapshot.
+* ``GET /healthz``  — health state + graph identity.  ``status`` is the
+  service's :class:`~repro.serve.health.HealthState` value
+  (``healthy``/``degraded``/``draining``) with the contributing
+  ``reasons``; HTTP 200 for healthy *and* degraded (the service still
+  answers), 503 for draining — the signal load balancers key on.
+* ``GET /stats``    — the shared ``serve.*`` counter snapshot (includes
+  ``serve.health`` / ``serve.health.reasons``).
 * ``POST /query``   — execute one query; body is the JSON dict accepted
   by :func:`~repro.serve.queries.query_from_dict`, plus an optional
   ``deadline`` (seconds).  The response is the result's bounded
   :meth:`~repro.serve.queries.QueryResult.summary` — full per-vertex
   arrays never travel over HTTP; their sha256 does.
 
-Typed failures map to status codes: 429 for admission rejection, 504
-for deadline exceeded, 400 for malformed queries, 500 otherwise.
+Typed failures map to status codes — 429 for admission rejection or
+load shedding (with a ``Retry-After`` header), 504 for deadline
+exceeded, 400 for malformed queries, 500 otherwise — and every error
+body carries a machine-readable ``code`` field
+(``admission_full``/``shed_degraded``/``shed_draining``/
+``deadline_exceeded``/``bad_query``/``not_found``/``internal``) so
+clients dispatch on the code, not the message text.
 Threading model: ``ThreadingHTTPServer`` gives each connection a
 handler thread, which blocks in :meth:`QueryService.execute` — the
 service's own admission bound (not the socket backlog) is what limits
@@ -21,9 +31,11 @@ concurrent work.
 from __future__ import annotations
 
 import json
+import math
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.errors import AdmissionError, DeadlineError, QueryError
+from repro.serve.health import HealthState
 from repro.serve.queries import query_from_dict
 from repro.serve.service import QueryService
 
@@ -36,21 +48,47 @@ class _Handler(BaseHTTPRequestHandler):
     def log_message(self, fmt, *args):  # noqa: D102
         pass
 
-    def _send(self, code: int, body: dict) -> None:
+    def _send(
+        self, code: int, body: dict, headers: "dict[str, str] | None" = None
+    ) -> None:
         data = json.dumps(body).encode()
         self.send_response(code)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(data)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(data)
+
+    def _send_error(self, status: int, code: str, exc: BaseException) -> None:
+        """One typed error body: message + machine-readable ``code``.
+
+        Admission errors carry their ``retry_after`` hint out as a real
+        ``Retry-After`` header (integer seconds, rounded up).
+        """
+        context = getattr(exc, "context", None) or {}
+        code = context.get("code", code)
+        headers = None
+        if status == 429:
+            retry_after = math.ceil(float(context.get("retry_after", 1.0)))
+            headers = {"Retry-After": str(int(retry_after))}
+        body = {"error": str(exc), "code": code}
+        detail = {k: v for k, v in context.items() if k != "code"}
+        if detail:
+            # Context is how typed errors name the offending input
+            # (e.g. ``unknown_fields`` on a bad query) — ship it.
+            body["context"] = detail
+        self._send(status, body, headers)
 
     def do_GET(self):  # noqa: N802 - BaseHTTPRequestHandler contract
         if self.path == "/healthz":
             eng = self.service.engine
+            state = self.service.health.state()
             self._send(
-                200,
+                503 if state is HealthState.DRAINING else 200,
                 {
-                    "status": "ok",
+                    "status": state.value,
+                    "reasons": self.service.health.reasons(),
                     "graph": eng.graph.info.name,
                     "n_vertices": eng.graph.n_vertices,
                     "fingerprint": self.service.fingerprint,
@@ -59,11 +97,11 @@ class _Handler(BaseHTTPRequestHandler):
         elif self.path == "/stats":
             self._send(200, self.service.stats())
         else:
-            self._send(404, {"error": "not found"})
+            self._send(404, {"error": "not found", "code": "not_found"})
 
     def do_POST(self):  # noqa: N802 - BaseHTTPRequestHandler contract
         if self.path != "/query":
-            self._send(404, {"error": "not found"})
+            self._send(404, {"error": "not found", "code": "not_found"})
             return
         try:
             length = int(self.headers.get("Content-Length", 0))
@@ -71,18 +109,18 @@ class _Handler(BaseHTTPRequestHandler):
             deadline = spec.pop("deadline", None)
             query = query_from_dict(spec)
         except (ValueError, QueryError) as exc:
-            self._send(400, {"error": str(exc)})
+            self._send_error(400, "bad_query", exc)
             return
         try:
             result = self.service.execute(query, deadline=deadline)
         except AdmissionError as exc:
-            self._send(429, {"error": str(exc)})
+            self._send_error(429, "admission_full", exc)
         except DeadlineError as exc:
-            self._send(504, {"error": str(exc)})
+            self._send_error(504, "deadline_exceeded", exc)
         except QueryError as exc:
-            self._send(400, {"error": str(exc)})
+            self._send_error(400, "bad_query", exc)
         except Exception as exc:  # engine/storage faults
-            self._send(500, {"error": str(exc)})
+            self._send_error(500, "internal", exc)
         else:
             self._send(200, result.summary())
 

@@ -21,6 +21,7 @@ Two contracts matter here:
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 from dataclasses import dataclass
 
@@ -357,6 +358,13 @@ def query_from_dict(spec: dict) -> Query:
     try:
         return cls(**spec)
     except TypeError as exc:
-        raise QueryError(
-            "bad query parameters", context={"type": qtype, "error": str(exc)}
-        ) from None
+        # Name the offending fields so HTTP clients see exactly which
+        # keys to fix, not just CPython's TypeError prose.
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(spec) - known)
+        context = {"type": qtype, "known_fields": sorted(known)}
+        if unknown:
+            context["unknown_fields"] = unknown
+        else:
+            context["error"] = str(exc)
+        raise QueryError("bad query parameters", context=context) from None

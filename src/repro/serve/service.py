@@ -40,9 +40,10 @@ import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
 
-from repro.errors import AdmissionError, DeadlineError, QueryError
+from repro.errors import AdmissionError, DeadlineError, QueryError, StorageError
 from repro.obs import MetricsRegistry, Tracer
 from repro.serve.cache import ResultCache
+from repro.serve.health import HealthMonitor, HealthState
 from repro.serve.queries import (
     Query,
     QueryResult,
@@ -69,6 +70,16 @@ class ServiceConfig:
     #: Give each query a tracing private context and attach its counter
     #: snapshot to the result (costs a registry per query).
     trace_queries: bool = False
+    #: Extra attempts granted per query for *retryable*
+    #: :class:`~repro.errors.StorageError`\ s (transient device trouble):
+    #: the query re-runs on a fresh private context, bounded.  0 disables
+    #: serve-level retry.
+    retry_attempts: int = 1
+    #: Consecutive engine-side query failures before the health monitor
+    #: flips the service to ``degraded`` (docs/RELIABILITY.md).
+    health_error_threshold: int = 3
+    #: Consecutive successes that clear an error-streak degradation.
+    health_recovery_threshold: int = 3
 
 
 class QueryService:
@@ -97,6 +108,15 @@ class QueryService:
         self._slots = threading.Semaphore(self.config.queue_depth)
         self._inflight = 0
         self._inflight_lock = threading.Lock()
+        #: Health state machine (docs/RELIABILITY.md "Serve health"):
+        #: reads the engine's degradation latches plus this service's
+        #: error/success stream; drives load shedding and ``/healthz``.
+        self.health = HealthMonitor(
+            engine,
+            self.registry,
+            error_threshold=self.config.health_error_threshold,
+            recovery_threshold=self.config.health_recovery_threshold,
+        )
         self._executor = ThreadPoolExecutor(
             max_workers=self.config.workers,
             thread_name_prefix="serve-query",
@@ -125,13 +145,42 @@ class QueryService:
         """
         if self._closed:
             raise QueryError("service is closed")
+        state = self.health.state()
+        if state is HealthState.DRAINING:
+            self.registry.counter("serve.rejected").add(1)
+            self.registry.counter("serve.shed").add(1)
+            raise AdmissionError(
+                "service draining",
+                context={"code": "shed_draining", "retry_after": 5.0},
+            )
+        if state is HealthState.DEGRADED:
+            # Load shedding: a degraded engine runs on a slower substrate
+            # (serial I/O, thread backend, no shards) — admit only half
+            # the configured depth so queue time does not explode.
+            with self._inflight_lock:
+                inflight = self._inflight
+            if inflight >= max(1, self.config.queue_depth // 2):
+                self.registry.counter("serve.rejected").add(1)
+                self.registry.counter("serve.shed").add(1)
+                raise AdmissionError(
+                    "load shed: service degraded",
+                    context={
+                        "code": "shed_degraded",
+                        "retry_after": 2.0,
+                        "reasons": self.health.reasons(),
+                    },
+                )
         if deadline is None:
             deadline = self.config.default_deadline
         if not self._slots.acquire(blocking=False):
             self.registry.counter("serve.rejected").add(1)
             raise AdmissionError(
                 "admission queue full",
-                context={"queue_depth": self.config.queue_depth},
+                context={
+                    "queue_depth": self.config.queue_depth,
+                    "code": "admission_full",
+                    "retry_after": 1.0,
+                },
             )
         self.registry.counter("serve.admitted").add(1)
         with self._inflight_lock:
@@ -196,19 +245,43 @@ class QueryService:
                     counters=cached.counters,
                 )
             self.registry.counter("serve.cache_misses").add(1)
-            try:
-                ctx = self.engine.query_context(
-                    trace=self.config.trace_queries,
-                    deadline=deadline,
-                    cancel_event=cancel_event,
-                )
-                payload = query.run(self.engine, ctx)
-            except DeadlineError:
-                self.registry.counter("serve.deadline_exceeded").add(1)
-                raise
-            except Exception:
-                self.registry.counter("serve.errors").add(1)
-                raise
+            attempts_left = max(0, int(self.config.retry_attempts))
+            while True:
+                try:
+                    ctx = self.engine.query_context(
+                        trace=self.config.trace_queries,
+                        deadline=deadline,
+                        cancel_event=cancel_event,
+                    )
+                    payload = query.run(self.engine, ctx)
+                    break
+                except DeadlineError:
+                    # A missed deadline is the caller's budget, not the
+                    # engine's health — no health penalty, no retry.
+                    self.registry.counter("serve.deadline_exceeded").add(1)
+                    raise
+                except StorageError as exc:
+                    if exc.retryable and attempts_left > 0:
+                        # Transient device trouble: re-run on a fresh
+                        # private context, bounded by retry_attempts.
+                        attempts_left -= 1
+                        self.registry.counter("serve.retries").add(1)
+                        continue
+                    if exc.retryable:
+                        self.registry.counter("serve.retry_exhausted").add(1)
+                    self.registry.counter("serve.errors").add(1)
+                    self.health.note_error()
+                    raise
+                except QueryError:
+                    # A malformed or out-of-range query says nothing
+                    # about the engine — count it, no health penalty.
+                    self.registry.counter("serve.errors").add(1)
+                    raise
+                except Exception:
+                    self.registry.counter("serve.errors").add(1)
+                    self.health.note_error()
+                    raise
+            self.health.note_success()
             result = QueryResult(
                 query=query,
                 payload=payload,
@@ -240,19 +313,29 @@ class QueryService:
         return self.fingerprint
 
     def stats(self) -> dict:
-        """Snapshot of the shared ``serve.*`` registry plus cache size."""
+        """Snapshot of the shared ``serve.*`` registry plus cache size
+        and the current health state/reasons."""
         out = self.registry.as_dict()
         out["serve.cache_entries"] = len(self.cache)
+        out["serve.health"] = self.health.state().value
+        out["serve.health.reasons"] = self.health.reasons()
         return out
 
+    def drain(self) -> None:
+        """Stop admitting new queries (typed 429 + ``Retry-After``) while
+        in-flight ones finish; ``/healthz`` flips to ``draining``/503.
+        The graceful first half of :meth:`close`."""
+        self.health.drain()
+
     def close(self) -> None:
-        """Stop accepting work and join the worker threads (idempotent).
+        """Drain, stop accepting work, and join the workers (idempotent).
 
         In-flight queries finish; the shared engine is left untouched —
         closing the service never closes the engine it serves.
         """
         if self._closed:
             return
+        self.drain()
         self._closed = True
         self._executor.shutdown(wait=True)
 

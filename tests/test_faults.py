@@ -84,7 +84,8 @@ class TestFaultPlan:
     def test_parse_tokens(self):
         plan = FaultPlan.parse(
             "transient@3:2,persistent@7,short@1:5,bitflip@2:12,"
-            "spike@5:0.01,slow:1:4,dead:2"
+            "spike@5:0.01,slow:1:4,dead:2,"
+            "kill:0@2,drop:1@3,delay:0@4:0.1,scatterfail@1"
         )
         kinds = {e.kind for e in plan.events}
         assert kinds == set(FaultKind)
@@ -287,14 +288,15 @@ class TestChaosRuns:
         assert slow.sim_elapsed > clean.sim_elapsed
         assert (algo.depth == 0).sum() == 1
 
-    def test_shard_worker_sigkill_degrades_and_stays_correct(
+    def test_shard_worker_sigkill_respawns_and_stays_correct(
         self, tiled_undirected
     ):
-        # SIGKILL one shard worker on a warm two-shard engine: the gather
-        # detects the death, tears the shard runtime down, finishes the
-        # iteration on the coordinator's own fetch path, and the run is
-        # still bit-identical — on the same simulated clock, with no
-        # worker process or shared-memory segment leaked.
+        # SIGKILL one shard worker on a warm two-shard engine: the
+        # gather's supervisor detects the death, respawns the worker,
+        # replays the lost lane's unapplied batches, and the run
+        # completes *fully sharded* — bit-identical, on the same
+        # simulated clock, with no process or segment leaked and no
+        # coordinator fallback.
         import signal
 
         from repro.runtime.threads import LIVE_SHM_SEGMENTS
@@ -315,10 +317,49 @@ class TestChaosRuns:
         finally:
             eng.close()
         np.testing.assert_array_equal(clean.rank, algo.rank)
+        assert not eng._shard_failed
+        assert stats.extra["execution"]["shards"] == 2
+        assert stats.extra["execution"]["shards_resolved"] == 2
+        sup = stats.extra["supervisor"]
+        assert sup["respawns"] == 1
+        assert sup["worker_deaths"] == 1
+        assert sup["replayed_batches"] >= 1
+        assert stats.sim_elapsed == pytest.approx(ref_stats.sim_elapsed)
+        assert stats.bytes_read == ref_stats.bytes_read
+        assert not LIVE_SHM_SEGMENTS
+
+    def test_shard_worker_sigkill_budget_zero_falls_back(
+        self, tiled_undirected
+    ):
+        # ``shard_respawn_budget=0`` disables self-healing: the old
+        # contract — tear the runtime down, finish on the coordinator's
+        # fetch path, still bit-identical — is preserved behind the knob.
+        import signal
+
+        from repro.runtime.threads import LIVE_SHM_SEGMENTS
+
+        clean = PageRank(max_iterations=10, tolerance=1e-12)
+        ref_stats = GStoreEngine(tiled_undirected, _cfg(shards=1)).run(clean)
+
+        algo = PageRank(max_iterations=10, tolerance=1e-12)
+        eng = GStoreEngine(
+            tiled_undirected, _cfg(shards=2, shard_respawn_budget=0)
+        )
+        try:
+            eng.warm_backend()
+            rt = eng._shard_rt
+            assert rt is not None and len(rt.processes) == 2
+            victim = rt.processes[0]
+            os.kill(victim.pid, signal.SIGKILL)
+            victim.join(timeout=10)
+            stats = eng.run(algo)
+        finally:
+            eng.close()
+        np.testing.assert_array_equal(clean.rank, algo.rank)
         assert eng._shard_rt is None  # torn down by the fallback
         assert eng._shard_failed
-        assert stats.extra["execution"]["shards"] == 2
         assert stats.extra["execution"]["shards_resolved"] == 1
+        assert stats.extra["supervisor"]["respawns"] == 0
         assert stats.sim_elapsed == pytest.approx(ref_stats.sim_elapsed)
         assert stats.bytes_read == ref_stats.bytes_read
         assert not LIVE_SHM_SEGMENTS

@@ -407,7 +407,8 @@ class TestHTTP:
             try:
                 with urllib.request.urlopen(base + "/healthz", timeout=10) as r:
                     health = json.load(r)
-                assert health["status"] == "ok"
+                assert health["status"] == "healthy"
+                assert health["reasons"] == []
                 assert health["fingerprint"] == svc.fingerprint
 
                 req = urllib.request.Request(

@@ -1,0 +1,303 @@
+"""The serve-layer health plane: state machine, load shedding, bounded
+retry, and the typed HTTP error surface (docs/RELIABILITY.md "Serve
+health", docs/SERVING.md).
+
+What these tests pin down:
+
+* the state machine — an engine-side error streak flips the service to
+  ``degraded`` and a recovery streak clears it; caller mistakes
+  (``QueryError``) and missed deadlines carry no health penalty;
+* load shedding — ``draining`` sheds everything, ``degraded`` clamps
+  admission to half the queue depth, and every shed is a typed
+  :class:`~repro.errors.AdmissionError` with a machine-readable
+  ``code`` and a ``retry_after`` hint;
+* bounded retry — a *retryable* :class:`~repro.errors.StorageError`
+  re-runs on a fresh private context at most ``retry_attempts`` times
+  (``serve.retries``), then counts ``serve.retry_exhausted`` and
+  surfaces;
+* the HTTP surface — ``/healthz`` status/reasons and the 503 flip when
+  draining, ``Retry-After`` on 429s, and error bodies carrying ``code``
+  plus the offending-field context.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+import pytest
+
+from repro.engine.config import EngineConfig
+from repro.engine.gstore import GStoreEngine
+from repro.errors import AdmissionError, QueryError, StorageError
+from repro.format.tiles import TiledGraph
+from repro.graphgen.rmat import rmat
+from repro.serve import (
+    BFSQuery,
+    HealthState,
+    QueryService,
+    ServiceConfig,
+    query_from_dict,
+)
+
+
+@pytest.fixture(scope="module")
+def engine():
+    graph = TiledGraph.from_edge_list(
+        rmat(9, edge_factor=8, seed=13), tile_bits=7, group_q=2
+    )
+    eng = GStoreEngine(
+        graph, EngineConfig(memory_bytes=64 * 1024, segment_bytes=8 * 1024)
+    )
+    yield eng
+    eng.close()
+
+
+@dataclass(frozen=True)
+class _FailingQuery(BFSQuery):
+    """BFS that fails ``fail_times`` times before succeeding.
+
+    ``exc_factory`` builds the exception; state lives in a mutable
+    class-level map keyed by ``tag`` so the frozen dataclass contract
+    (and the cache-key identity) stays intact.
+    """
+
+    tag: str = ""
+    fail_times: int = 0
+
+    _registry = {}  # class-level, not a dataclass field
+    _factories = {}
+
+    def cache_key(self):
+        return ("failing", self.tag, int(self.root))
+
+    def run(self, engine, ctx):
+        n = self._registry.get(self.tag, 0)
+        if n < self.fail_times:
+            self._registry[self.tag] = n + 1
+            raise self._factories[self.tag]()
+        return super().run(engine, ctx)
+
+    @classmethod
+    def make(cls, tag, fail_times, exc_factory, root=0):
+        cls._registry[tag] = 0
+        cls._factories[tag] = exc_factory
+        return cls(root=root, tag=tag, fail_times=fail_times)
+
+
+class TestHealthStateMachine:
+    def test_error_streak_degrades_then_recovers(self, engine):
+        svc = QueryService(
+            engine,
+            ServiceConfig(
+                workers=1,
+                queue_depth=8,
+                retry_attempts=0,
+                health_error_threshold=3,
+                health_recovery_threshold=2,
+            ),
+        )
+        try:
+            assert svc.health.state() is HealthState.HEALTHY
+            for i in range(3):
+                q = _FailingQuery.make(f"streak{i}", 99, RuntimeError)
+                with pytest.raises(RuntimeError):
+                    svc.execute(q)
+            assert svc.health.state() is HealthState.DEGRADED
+            assert "error_streak" in svc.health.reasons()
+            assert svc.stats()["serve.health"] == "degraded"
+            # Two consecutive successes clear the latch.
+            svc.execute(BFSQuery(root=0))
+            svc.execute(BFSQuery(root=1))
+            assert svc.health.state() is HealthState.HEALTHY
+            assert svc.health.reasons() == []
+            assert svc.stats()["serve.health.transitions"] == 2
+        finally:
+            svc.close()
+
+    def test_query_errors_carry_no_health_penalty(self, engine):
+        svc = QueryService(
+            engine, ServiceConfig(workers=1, health_error_threshold=1)
+        )
+        try:
+            for _ in range(3):
+                with pytest.raises(QueryError):
+                    svc.execute(BFSQuery(root=10**9))
+            assert svc.health.state() is HealthState.HEALTHY
+        finally:
+            svc.close()
+
+
+class TestLoadShedding:
+    def test_draining_sheds_everything_typed(self, engine):
+        svc = QueryService(engine, ServiceConfig(workers=1))
+        try:
+            svc.drain()
+            assert svc.health.state() is HealthState.DRAINING
+            with pytest.raises(AdmissionError) as ei:
+                svc.submit(BFSQuery(root=0))
+            assert ei.value.context["code"] == "shed_draining"
+            assert ei.value.context["retry_after"] > 0
+            assert svc.stats()["serve.shed"] == 1
+        finally:
+            svc.close()
+
+    def test_degraded_clamps_admission_to_half_depth(self, engine):
+        release = threading.Event()
+        started = threading.Event()
+
+        class _Stall(BFSQuery):
+            def run(self, eng, ctx):
+                started.set()
+                release.wait(timeout=30)
+                return super().run(eng, ctx)
+
+        svc = QueryService(
+            engine,
+            ServiceConfig(
+                workers=4,
+                queue_depth=4,
+                retry_attempts=0,
+                health_error_threshold=2,
+            ),
+        )
+        try:
+            for i in range(2):
+                q = _FailingQuery.make(f"clamp{i}", 99, RuntimeError)
+                with pytest.raises(RuntimeError):
+                    svc.execute(q)
+            assert svc.health.state() is HealthState.DEGRADED
+            # Healthy depth is 4; degraded admission clamps at 2.
+            futures = [svc.submit(_Stall(root=r)) for r in (0, 1)]
+            started.wait(timeout=30)
+            with pytest.raises(AdmissionError) as ei:
+                svc.submit(BFSQuery(root=2))
+            assert ei.value.context["code"] == "shed_degraded"
+            assert "error_streak" in ei.value.context["reasons"]
+            release.set()
+            for f in futures:
+                assert f.result().sha256
+        finally:
+            release.set()
+            svc.close()
+
+
+class TestServeRetry:
+    def test_transient_storage_error_is_retried(self, engine):
+        svc = QueryService(
+            engine, ServiceConfig(workers=1, retry_attempts=1)
+        )
+        try:
+            q = _FailingQuery.make(
+                "transient", 1,
+                lambda: StorageError("injected", retryable=True),
+            )
+            result = svc.execute(q)
+            assert result.sha256
+            stats = svc.stats()
+            assert stats["serve.retries"] == 1
+            assert "serve.retry_exhausted" not in stats
+            assert svc.health.state() is HealthState.HEALTHY
+        finally:
+            svc.close()
+
+    def test_persistent_storage_error_exhausts_retry(self, engine):
+        svc = QueryService(
+            engine,
+            ServiceConfig(
+                workers=1, retry_attempts=2, health_error_threshold=1
+            ),
+        )
+        try:
+            q = _FailingQuery.make(
+                "persistent", 99,
+                lambda: StorageError("injected", retryable=True),
+            )
+            with pytest.raises(StorageError):
+                svc.execute(q)
+            stats = svc.stats()
+            assert stats["serve.retries"] == 2
+            assert stats["serve.retry_exhausted"] == 1
+            assert stats["serve.errors"] == 1
+            assert svc.health.state() is HealthState.DEGRADED
+        finally:
+            svc.close()
+
+    def test_non_retryable_storage_error_fails_fast(self, engine):
+        svc = QueryService(
+            engine, ServiceConfig(workers=1, retry_attempts=3)
+        )
+        try:
+            q = _FailingQuery.make(
+                "hard", 99, lambda: StorageError("injected", retryable=False)
+            )
+            with pytest.raises(StorageError):
+                svc.execute(q)
+            assert "serve.retries" not in svc.stats()
+        finally:
+            svc.close()
+
+
+class TestTypedQueryRejections:
+    def test_unknown_field_is_named(self):
+        with pytest.raises(QueryError) as ei:
+            query_from_dict({"type": "bfs", "bogus": 1})
+        assert ei.value.context["unknown_fields"] == ["bogus"]
+        assert "root" in ei.value.context["known_fields"]
+
+
+class TestHTTPHealthSurface:
+    def test_healthz_flips_and_errors_are_typed(self, engine):
+        import json
+        import urllib.error
+        import urllib.request
+
+        from repro.serve.http import make_server
+
+        svc = QueryService(engine, ServiceConfig(workers=2, queue_depth=8))
+        try:
+            try:
+                server = make_server(svc, host="127.0.0.1", port=0)
+            except OSError:
+                pytest.skip("sockets unavailable in this environment")
+            host, port = server.server_address[:2]
+            t = threading.Thread(target=server.serve_forever, daemon=True)
+            t.start()
+            base = f"http://{host}:{port}"
+            try:
+                with urllib.request.urlopen(base + "/healthz", timeout=10) as r:
+                    assert json.load(r)["status"] == "healthy"
+
+                bad = urllib.request.Request(
+                    base + "/query",
+                    data=json.dumps({"type": "bfs", "bogus": 1}).encode(),
+                )
+                with pytest.raises(urllib.error.HTTPError) as ei:
+                    urllib.request.urlopen(bad, timeout=10)
+                assert ei.value.code == 400
+                body = json.load(ei.value)
+                assert body["code"] == "bad_query"
+                assert body["context"]["unknown_fields"] == ["bogus"]
+
+                svc.drain()
+                with pytest.raises(urllib.error.HTTPError) as ei:
+                    urllib.request.urlopen(base + "/healthz", timeout=10)
+                assert ei.value.code == 503
+                body = json.load(ei.value)
+                assert body["status"] == "draining"
+                assert "draining" in body["reasons"]
+
+                shed = urllib.request.Request(
+                    base + "/query",
+                    data=json.dumps({"type": "bfs", "root": 0}).encode(),
+                )
+                with pytest.raises(urllib.error.HTTPError) as ei:
+                    urllib.request.urlopen(shed, timeout=10)
+                assert ei.value.code == 429
+                assert int(ei.value.headers["Retry-After"]) >= 1
+                assert json.load(ei.value)["code"] == "shed_draining"
+            finally:
+                server.shutdown()
+                server.server_close()
+        finally:
+            svc.close()

@@ -146,6 +146,85 @@ class TestCliFsck:
         assert "CORRUPT" in capsys.readouterr().out
 
 
+class TestCliFsckCheckpoint:
+    """``repro fsck --checkpoint DIR``: the 0/1/2 contract extends to
+    checkpoint integrity (state.npz/meta.json cross-check plus
+    cache-pool membership against the graph being checked)."""
+
+    @pytest.fixture()
+    def saved(self, tmp_path, tiled_undirected):
+        from repro.algorithms.pagerank import PageRank
+        from repro.engine.config import EngineConfig
+        from repro.engine.gstore import GStoreEngine
+
+        d = tmp_path / "g"
+        tiled_undirected.save(d)
+        ckpt = tmp_path / "ckpt"
+        eng = GStoreEngine(
+            tiled_undirected,
+            EngineConfig(memory_bytes=64 * 1024, segment_bytes=8 * 1024),
+        )
+        eng.run(
+            PageRank(max_iterations=3, tolerance=0.0), checkpoint=str(ckpt)
+        )
+        eng.close()
+        return d, ckpt
+
+    def test_clean_checkpoint_exit_zero(self, saved, capsys):
+        d, ckpt = saved
+        assert main(["fsck", str(d), "--checkpoint", str(ckpt)]) == 0
+        out = capsys.readouterr().out
+        assert "checkpoint" in out and "OK" in out
+
+    def test_missing_checkpoint_exit_two(self, saved, tmp_path, capsys):
+        d, _ = saved
+        rc = main(
+            ["fsck", str(d), "--checkpoint", str(tmp_path / "nothing")]
+        )
+        assert rc == 2
+        assert "not found" in capsys.readouterr().out
+
+    def test_torn_checkpoint_exit_one(self, saved, capsys):
+        import json
+
+        d, ckpt = saved
+        meta_path = ckpt / "meta.json"
+        meta = json.loads(meta_path.read_text())
+        meta["iteration"] = 99  # state.npz still says the real one
+        meta_path.write_text(json.dumps(meta))
+        assert main(["fsck", str(d), "--checkpoint", str(ckpt)]) == 1
+        assert "mismatch" in capsys.readouterr().out
+
+    def test_bad_pool_membership_exit_one(self, saved, capsys):
+        import json
+
+        d, ckpt = saved
+        meta_path = ckpt / "meta.json"
+        meta = json.loads(meta_path.read_text())
+        meta["engine"]["cached_positions"] = [0, 0, 10**6]
+        meta_path.write_text(json.dumps(meta))
+        assert main(["fsck", str(d), "--checkpoint", str(ckpt)]) == 1
+        out = capsys.readouterr().out
+        assert "duplicate" in out and "outside tile grid" in out
+
+    def test_check_checkpoint_library_surface(self, saved):
+        from repro.engine.checkpoint import check_checkpoint
+
+        d, ckpt = saved
+        rep = check_checkpoint(ckpt)
+        assert rep.present and rep.ok
+        assert rep.algorithm == "pagerank"
+        assert rep.arrays > 0 and rep.cached_tiles > 0
+
+        missing = check_checkpoint(str(ckpt) + "-nope")
+        assert not missing.present and not missing.ok
+
+        (ckpt / "state.npz").unlink()
+        rep = check_checkpoint(ckpt)
+        assert rep.present and not rep.ok
+        assert any("state.npz" in p for p in rep.problems)
+
+
 class TestCliReport:
     def test_report_to_stdout(self, tmp_path, capsys):
         results = tmp_path / "results"

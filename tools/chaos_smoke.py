@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """CI chaos smoke: seeded fault injection must recover, kill/resume must match.
 
-Three gates (docs/RELIABILITY.md), each exiting non-zero on failure:
+Five gates (docs/RELIABILITY.md), each exiting non-zero on failure:
 
 1. **Recovery** — a seeded chaos run (transient read errors + short reads
    + latency spikes + one slow RAID member) of BFS and PageRank completes
@@ -12,6 +12,13 @@ Three gates (docs/RELIABILITY.md), each exiting non-zero on failure:
 3. **Kill/resume** — a PageRank run killed mid-way by a persistent fault
    resumes from its last checkpoint and reproduces the uninterrupted
    result bit-for-bit.
+4. **Shard chaos** — a scripted transport fault kills one shard worker
+   mid-run; the supervisor must *respawn* it (never fall back to the
+   coordinator path), finish fully sharded, and stay bit-identical to
+   the serial baseline at prefetch depths 0 and 2.
+5. **Serve chaos** — an engine-side error streak flips ``/healthz`` to
+   ``degraded`` and shed queries come back as typed 429s with a
+   ``Retry-After`` header; recovery flips it back to ``healthy``.
 
 Usage: PYTHONPATH=src python tools/chaos_smoke.py [--scale 10] [--seed 7]
 """
@@ -154,6 +161,146 @@ def gate_kill_resume(tg: TiledGraph) -> None:
         )
 
 
+def gate_shard_chaos(tg: TiledGraph) -> None:
+    print("gate 4: killed shard worker respawns, stays sharded + identical")
+    from repro.runtime.threads import LIVE_SHM_SEGMENTS
+
+    clean = PageRank(max_iterations=10, tolerance=1e-12)
+    GStoreEngine(tg, make_config()).run(clean)
+
+    for depth in (0, 2):
+        chaos = PageRank(max_iterations=10, tolerance=1e-12)
+        eng = GStoreEngine(
+            tg,
+            make_config(
+                shards=2,
+                prefetch_depth=depth,
+                faults=FaultPlan.parse("kill:0@2"),
+            ),
+        )
+        stats = eng.run(chaos)
+        eng.close()
+        sup = stats.extra["supervisor"]
+        check(
+            np.array_equal(clean.rank, chaos.rank),
+            f"depth {depth}: post-kill rank matches serial baseline",
+        )
+        check(
+            stats.extra["execution"]["shards_resolved"] == 2,
+            f"depth {depth}: run finished sharded (no coordinator fallback)",
+        )
+        check(
+            sup["respawns"] == 1 and sup["worker_deaths"] == 1,
+            f"depth {depth}: exactly one respawn "
+            f"({sup['replayed_batches']} batches replayed)",
+        )
+        check(not LIVE_SHM_SEGMENTS, f"depth {depth}: no leaked shm segment")
+
+
+def gate_serve_chaos(tg: TiledGraph) -> None:
+    print("gate 5: degraded engine flips /healthz, shed queries get typed 429s")
+    import json
+    import threading
+    import urllib.error
+    import urllib.request
+
+    from repro.errors import StorageError as _SE
+    from repro.serve import BFSQuery, QueryService, ServiceConfig
+    from repro.serve.http import make_server
+
+    class _FailingQuery(BFSQuery):
+        # Engine-side failure: retryable storage trouble that outlives
+        # the serve-level retry budget, feeding the error streak.
+        def cache_key(self):
+            return ("failing", int(self.root))
+
+        def run(self, engine, ctx):
+            raise _SE("injected device failure", retryable=True)
+
+    eng = GStoreEngine(tg, make_config())
+    svc = QueryService(
+        eng,
+        ServiceConfig(
+            workers=2, queue_depth=8, retry_attempts=1,
+            health_error_threshold=2, health_recovery_threshold=2,
+        ),
+    )
+    try:
+        try:
+            server = make_server(svc, host="127.0.0.1", port=0)
+        except OSError as exc:
+            print(f"  skip: sockets unavailable ({exc})")
+            return
+        host, port = server.server_address[:2]
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        base = f"http://{host}:{port}"
+        try:
+            with urllib.request.urlopen(base + "/healthz", timeout=10) as r:
+                check(json.load(r)["status"] == "healthy", "starts healthy")
+            for i in range(2):
+                try:
+                    svc.execute(_FailingQuery(root=i))
+                except _SE:
+                    pass
+            with urllib.request.urlopen(base + "/healthz", timeout=10) as r:
+                health = json.load(r)
+            check(
+                health["status"] == "degraded"
+                and "error_streak" in health["reasons"],
+                f"error streak degrades /healthz (reasons: {health['reasons']})",
+            )
+            stats = svc.stats()
+            check(
+                stats.get("serve.retries", 0) > 0
+                and stats.get("serve.retry_exhausted", 0) > 0,
+                "storage retries ran and exhausted their budget",
+            )
+            # Degraded admission clamps to queue_depth//2 = 4: saturate
+            # with stalled queries, then watch a shed 429 come back.
+            release = threading.Event()
+            started = threading.Event()
+
+            class _Stall(BFSQuery):
+                def run(self, engine, ctx):
+                    started.set()
+                    release.wait(timeout=30)
+                    return super().run(engine, ctx)
+
+            futures = [svc.submit(_Stall(root=r)) for r in range(4)]
+            started.wait(timeout=30)
+            req = urllib.request.Request(
+                base + "/query",
+                data=json.dumps({"type": "bfs", "root": 9}).encode(),
+            )
+            try:
+                urllib.request.urlopen(req, timeout=10)
+                check(False, "shed query should have been rejected")
+            except urllib.error.HTTPError as exc:
+                body = json.load(exc)
+                check(
+                    exc.code == 429
+                    and body["code"] == "shed_degraded"
+                    and int(exc.headers["Retry-After"]) >= 1,
+                    f"shed query rejected with typed 429 ({body['code']}, "
+                    f"Retry-After {exc.headers['Retry-After']}s)",
+                )
+            release.set()
+            for f in futures:
+                f.result()
+            svc.execute(BFSQuery(root=1))
+            with urllib.request.urlopen(base + "/healthz", timeout=10) as r:
+                check(
+                    json.load(r)["status"] == "healthy",
+                    "success streak recovers to healthy",
+                )
+        finally:
+            server.shutdown()
+            server.server_close()
+    finally:
+        svc.close()
+        eng.close()
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--scale", type=int, default=10, help="R-MAT scale")
@@ -167,6 +314,8 @@ def main() -> int:
     gate_recovery(tg, args.seed)
     gate_determinism(tg, args.seed)
     gate_kill_resume(tg)
+    gate_shard_chaos(tg)
+    gate_serve_chaos(tg)
 
     if _failures:
         print(f"chaos smoke: {_failures} gate(s) FAILED")
